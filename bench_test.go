@@ -1,0 +1,431 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8). Each benchmark prints or reports the quantities the
+// corresponding exhibit plots; run the cmd/ tools for full-resolution
+// sweeps. Custom metrics use b.ReportMetric, so `go test -bench=.`
+// output doubles as the experiment record in EXPERIMENTS.md.
+package hourglass_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+	"hourglass/internal/core"
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+	"hourglass/internal/loader"
+	"hourglass/internal/micro"
+	"hourglass/internal/partition"
+	"hourglass/internal/perfmodel"
+	"hourglass/internal/sim"
+	"hourglass/internal/units"
+)
+
+const benchRuns = 30 // simulations per bar (paper: 2000; CLI flag -runs scales up)
+
+// --- Table 2: graph datasets ------------------------------------------------
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for _, d := range graph.Datasets() {
+		b.Run(d.Name, func(b *testing.B) {
+			var st graph.Stats
+			for i := 0; i < b.N; i++ {
+				g := d.Generate(0.1)
+				st = graph.ComputeStats(d, g)
+			}
+			b.ReportMetric(float64(st.Vertices), "vertices")
+			b.ReportMetric(float64(st.Edges), "edges")
+		})
+	}
+}
+
+// --- Figure 1: the provisioning dilemma -------------------------------------
+
+func BenchmarkFigure1Motivation(b *testing.B) {
+	bars := []struct {
+		name     string
+		model    *perfmodel.Model
+		strategy hourglass.Strategy
+	}{
+		{"eager", perfmodel.Default().WithLoading(perfmodel.LoadHash), hourglass.StrategyProteus},
+		{"naive", perfmodel.Default().WithLoading(perfmodel.LoadHash), hourglass.StrategyNaive},
+		{"slackaware", perfmodel.Default().WithLoading(perfmodel.LoadMETIS), hourglass.StrategyHourglass},
+		{"slackaware+fastreload", perfmodel.Default(), hourglass.StrategyHourglass},
+	}
+	for _, bar := range bars {
+		b.Run(bar.name, func(b *testing.B) {
+			sys, err := hourglass.New(hourglass.Options{Seed: 42, TraceDays: 8, Model: bar.model})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res hourglass.Result
+			for i := 0; i < b.N; i++ {
+				res, err = sys.Simulate(hourglass.GC, bar.strategy, 0.5, benchRuns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanNormCost, "normcost")
+			b.ReportMetric(res.MissedFraction*100, "missed%")
+		})
+	}
+}
+
+// --- Figure 5: cost and missed deadlines across jobs, slacks, strategies ----
+
+func benchmarkFigure5(b *testing.B, job hourglass.JobKind) {
+	strategies := []hourglass.Strategy{
+		hourglass.StrategyHourglass, hourglass.StrategyProteus,
+		hourglass.StrategyProteusDP, hourglass.StrategySpotOnDP,
+	}
+	sys, err := hourglass.New(hourglass.Options{Seed: 42, TraceDays: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, st := range strategies {
+		for _, slack := range []float64{0.2, 0.6, 1.0} {
+			b.Run(fmt.Sprintf("%s/slack%.0f%%", st, slack*100), func(b *testing.B) {
+				var res hourglass.Result
+				for i := 0; i < b.N; i++ {
+					res, err = sys.Simulate(job, st, slack, benchRuns)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.MeanNormCost, "normcost")
+				b.ReportMetric(res.MissedFraction*100, "missed%")
+			})
+		}
+	}
+}
+
+func BenchmarkFigure5SSSP(b *testing.B)     { benchmarkFigure5(b, hourglass.SSSP) }
+func BenchmarkFigure5PageRank(b *testing.B) { benchmarkFigure5(b, hourglass.PageRank) }
+func BenchmarkFigure5GC(b *testing.B)       { benchmarkFigure5(b, hourglass.GC) }
+
+// --- Figure 6: loading strategies --------------------------------------------
+
+func BenchmarkFigure6Loaders(b *testing.B) {
+	d, err := graph.ByName("twitter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Load(d, 0.25)
+	model := loader.DefaultModel()
+	mp, err := micro.BuildForConfigs(g, partition.Multilevel{Seed: 1}, []int{2, 4, 8, 16}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 16} {
+		hashAssign := partition.Hash{}.Partition(g, k).Assign
+		va, err := mp.VertexAssignment(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := []struct {
+			name string
+			f    func() (loader.Result, error)
+		}{
+			{"stream", func() (loader.Result, error) { return model.Stream(g, k) }},
+			{"hash", func() (loader.Result, error) { return model.Hash(g, hashAssign, k) }},
+			{"micro", func() (loader.Result, error) { return model.Micro(g, va.Assign, k) }},
+		}
+		for _, row := range rows {
+			b.Run(fmt.Sprintf("%s/machines%d", row.name, k), func(b *testing.B) {
+				var r loader.Result
+				for i := 0; i < b.N; i++ {
+					r, err = row.f()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(r.Total()), "simload-s")
+			})
+		}
+	}
+}
+
+// --- Figure 7: micro-partitioning ablation ----------------------------------
+
+func BenchmarkFigure7Ablation(b *testing.B) {
+	rows := []struct {
+		name     string
+		model    *perfmodel.Model
+		strategy hourglass.Strategy
+	}{
+		{"slackaware+metis", perfmodel.Default().WithLoading(perfmodel.LoadMETIS), hourglass.StrategyHourglass},
+		{"slackaware+micrometis", perfmodel.Default().WithLoading(perfmodel.LoadMicro).WithMetisBase(), hourglass.StrategyHourglass},
+		{"spoton+dp+micrometis", perfmodel.Default().WithLoading(perfmodel.LoadMicro).WithMetisBase(), hourglass.StrategySpotOnDP},
+	}
+	for _, row := range rows {
+		for _, slack := range []float64{0.1, 0.5, 1.0} {
+			b.Run(fmt.Sprintf("%s/slack%.0f%%", row.name, slack*100), func(b *testing.B) {
+				sys, err := hourglass.New(hourglass.Options{Seed: 42, TraceDays: 8, Model: row.model})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var res hourglass.Result
+				for i := 0; i < b.N; i++ {
+					res, err = sys.Simulate(hourglass.GC, row.strategy, slack, benchRuns)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.MeanNormCost, "normcost")
+			})
+		}
+	}
+}
+
+// --- Figure 8: partition quality ---------------------------------------------
+
+func BenchmarkFigure8Quality(b *testing.B) {
+	for _, name := range []string{"orkut", "hollywood", "wiki"} {
+		d, err := graph.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := graph.Load(d, 0.15)
+		bases := []struct {
+			label string
+			p     partition.Partitioner
+		}{
+			{"metis", partition.Multilevel{Seed: 1}},
+			{"fennel", partition.Fennel{Seed: 1}},
+		}
+		for _, base := range bases {
+			b.Run(fmt.Sprintf("%s/%s", name, base.label), func(b *testing.B) {
+				var microCut, directCut float64
+				for i := 0; i < b.N; i++ {
+					mp, err := micro.Build(g, base.p, 64, partition.Multilevel{Seed: 2})
+					if err != nil {
+						b.Fatal(err)
+					}
+					va, err := mp.VertexAssignment(8)
+					if err != nil {
+						b.Fatal(err)
+					}
+					microCut = partition.EdgeCutFraction(g, va.Assign)
+					directCut = partition.EdgeCutFraction(g, base.p.Partition(g, 8).Assign)
+				}
+				b.ReportMetric(microCut*100, "microcut%")
+				b.ReportMetric(directCut*100, "directcut%")
+				b.ReportMetric((microCut-directCut)*100, "degradation-pts")
+			})
+		}
+	}
+}
+
+// --- Figure 9: decision time and DFO ------------------------------------------
+
+func BenchmarkFigure9Decision(b *testing.B) {
+	sys, err := hourglass.New(hourglass.Options{Seed: 42, TraceDays: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, job := range []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC} {
+		env, err := sys.Env(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, err := sys.DeadlineFor(job, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.State{Now: 0, WorkLeft: 1, Deadline: rel}
+
+		b.Run(fmt.Sprintf("approx/%s", job), func(b *testing.B) {
+			p := core.NewSlackAware(env)
+			for i := 0; i < b.N; i++ {
+				p.Evaluate(s)
+			}
+		})
+		b.Run(fmt.Sprintf("exact/%s", job), func(b *testing.B) {
+			x := core.NewExactEC(env)
+			x.Step = 5
+			x.OpBudget = 5e6
+			dnf := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Evaluate(s); errors.Is(err, core.ErrBudget) {
+					dnf++
+				}
+			}
+			b.ReportMetric(float64(dnf)/float64(b.N)*100, "dnf%")
+		})
+	}
+}
+
+// --- Ablations beyond the paper's figures -------------------------------------
+
+// BenchmarkAblationCheckpointInterval verifies the Daly interval is
+// near-optimal in end-to-end cost: scaling it off the optimum should
+// not reduce cost.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	historical := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 0x0C7})
+	em, err := cloud.BuildEvictionModel(historical, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 0x40E})
+	for _, scale := range []float64{0.25, 1, 4} {
+		b.Run(fmt.Sprintf("daly_x%g", scale), func(b *testing.B) {
+			env, err := core.NewEnv(perfmodel.JobGC, perfmodel.Default(), cloud.DefaultConfigs(),
+				cloud.NewMarket(live), em)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range env.Stats {
+				if env.Stats[i].Config.Transient {
+					env.Stats[i].Ckpt *= units.Seconds(scale)
+				}
+			}
+			runner := &sim.Runner{Env: env}
+			var batch sim.BatchResult
+			for i := 0; i < b.N; i++ {
+				batch, err = runner.RunBatch(func() core.Provisioner {
+					return core.NewSlackAware(env)
+				}, 0.5, benchRuns, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batch.MeanNormCost, "normcost")
+		})
+	}
+}
+
+// BenchmarkAblationEvictionWarning measures the §9 extension: a
+// 120-second eviction warning that fits an emergency checkpoint should
+// reduce cost (less lost work) without affecting deadline safety.
+func BenchmarkAblationEvictionWarning(b *testing.B) {
+	historical := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 0x0C7})
+	em, err := cloud.BuildEvictionModel(historical, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 0x40E})
+	for _, warning := range []units.Seconds{0, 120} {
+		b.Run(fmt.Sprintf("warning%ds", int(warning)), func(b *testing.B) {
+			env, err := core.NewEnv(perfmodel.JobGC, perfmodel.Default(), cloud.DefaultConfigs(),
+				cloud.NewMarket(live), em)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := &sim.Runner{Env: env, WarningWindow: warning}
+			var batch sim.BatchResult
+			for i := 0; i < b.N; i++ {
+				batch, err = runner.RunBatch(func() core.Provisioner {
+					p := core.NewSlackAware(env)
+					p.WarningWindow = warning
+					return p
+				}, 0.3, benchRuns, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batch.MeanNormCost, "normcost")
+			b.ReportMetric(batch.MissedFraction*100, "missed%")
+		})
+	}
+}
+
+// BenchmarkEngineSupersteps measures the real BSP engine's throughput
+// (the calibration source for the performance model).
+func BenchmarkEngineSupersteps(b *testing.B) {
+	g := graph.Load(graph.RMATDataset(13), 1.0)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("pagerank10/%dworkers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(g, &engine.PageRank{Iterations: 10},
+					engine.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(g.SizeBytes())
+		})
+	}
+}
+
+// BenchmarkAblationRelaxedDeadline quantifies the §8.2 discussion:
+// relaxed-Hourglass (inflated target) risks misses for extra savings.
+func BenchmarkAblationRelaxedDeadline(b *testing.B) {
+	sys, err := hourglass.New(hourglass.Options{Seed: 42, TraceDays: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, st := range []hourglass.Strategy{hourglass.StrategyHourglass, hourglass.StrategyRelaxed} {
+		b.Run(string(st), func(b *testing.B) {
+			var res hourglass.Result
+			for i := 0; i < b.N; i++ {
+				res, err = sys.Simulate(hourglass.GC, st, 0.2, benchRuns)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanNormCost, "normcost")
+			b.ReportMetric(res.MissedFraction*100, "missed%")
+		})
+	}
+}
+
+// BenchmarkAblationBisectionVsKWay compares the recursive-bisection
+// formulation against direct k-way multilevel partitioning.
+func BenchmarkAblationBisectionVsKWay(b *testing.B) {
+	d, err := graph.ByName("orkut")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Load(d, 0.15)
+	parts := []partition.Partitioner{
+		partition.Multilevel{Seed: 1},
+		partition.RecursiveBisection{Seed: 1},
+	}
+	for _, p := range parts {
+		b.Run(p.Name(), func(b *testing.B) {
+			var cut float64
+			for i := 0; i < b.N; i++ {
+				res := p.Partition(g, 8)
+				cut = partition.EdgeCutFraction(g, res.Assign)
+			}
+			b.ReportMetric(cut*100, "cut%")
+		})
+	}
+}
+
+// BenchmarkAblationBidSensitivity explores the pre-2017 bid-based
+// eviction model: bidding above the on-demand price delays evictions
+// and lowers Hourglass's cost; the paper's bid-=-on-demand policy is
+// the conservative point.
+func BenchmarkAblationBidSensitivity(b *testing.B) {
+	historical := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 0x0C7})
+	em, err := cloud.BuildEvictionModel(historical, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 0x40E})
+	for _, factor := range []float64{1.0, 2.0} {
+		b.Run(fmt.Sprintf("bid_x%g", factor), func(b *testing.B) {
+			market := cloud.NewMarket(live)
+			market.BidFactor = factor
+			env, err := core.NewEnv(perfmodel.JobGC, perfmodel.Default(), cloud.DefaultConfigs(),
+				market, em)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := &sim.Runner{Env: env}
+			var batch sim.BatchResult
+			for i := 0; i < b.N; i++ {
+				batch, err = runner.RunBatch(func() core.Provisioner {
+					return core.NewSlackAware(env)
+				}, 0.3, benchRuns, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batch.MeanNormCost, "normcost")
+			b.ReportMetric(batch.MeanEvictions, "evictions")
+		})
+	}
+}

@@ -1,0 +1,90 @@
+// Command hourglass-decide regenerates Figure 9 of the paper: the time
+// to reach a provisioning decision with the exact EC formulation
+// (integral of §5.2) versus the Hourglass approximation (§5.3), plus
+// the approximation's distance from optimum (DFO), across the three
+// benchmark jobs and slack sizes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"hourglass"
+	"hourglass/internal/core"
+	"hourglass/internal/units"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 42, "trace seed")
+		days   = flag.Float64("days", 10, "synthetic month length")
+		step   = flag.Float64("step", 1, "exact-EC integral discretisation (seconds; paper uses 1)")
+		budget = flag.Int64("budget", 2e7, "exact-EC operation budget (DNF beyond)")
+	)
+	flag.Parse()
+
+	sys, err := hourglass.New(hourglass.Options{Seed: *seed, TraceDays: *days})
+	if err != nil {
+		fatal(err)
+	}
+	jobs := []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC}
+	slacks := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+
+	fmt.Println("Figure 9: decision time (exact vs approximate EC) and distance from optimum")
+	for _, job := range jobs {
+		env, err := sys.Env(job)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n== %s ==\n%-8s %14s %14s %10s\n", job, "slack", "optimal", "hourglass", "DFO")
+		for _, slack := range slacks {
+			rel, err := sys.DeadlineFor(job, slack)
+			if err != nil {
+				fatal(err)
+			}
+			s := core.State{Now: 0, WorkLeft: 1, Deadline: rel}
+
+			approx := core.NewSlackAware(env)
+			t0 := time.Now()
+			approxCost := approx.Evaluate(s)
+			approxTime := time.Since(t0)
+
+			exact := core.NewExactEC(env)
+			exact.Step = units.Seconds(*step)
+			exact.OpBudget = *budget
+			t0 = time.Now()
+			exactCost, err := exact.Evaluate(s)
+			exactTime := time.Since(t0)
+
+			switch {
+			case errors.Is(err, core.ErrBudget):
+				fmt.Printf("%6.0f%% %14s %14s %10s\n", slack*100, "DNF", fmtDur(approxTime), "-")
+			case err != nil:
+				fatal(err)
+			default:
+				dfo := math.Abs(float64(approxCost-exactCost)) / float64(exactCost) * 100
+				fmt.Printf("%6.0f%% %14s %14s %9.1f%%\n", slack*100, fmtDur(exactTime), fmtDur(approxTime), dfo)
+			}
+		}
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hourglass-decide:", err)
+	os.Exit(1)
+}

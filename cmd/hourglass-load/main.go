@@ -1,0 +1,97 @@
+// Command hourglass-load regenerates Figure 6 of the paper: loading
+// times of the Stream, Hash and Micro loaders across datasets and
+// cluster sizes (2–16 machines), on the simulated network substrate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hourglass/internal/graph"
+	"hourglass/internal/loader"
+	"hourglass/internal/micro"
+	"hourglass/internal/partition"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
+		datasets = flag.String("datasets", "orkut,rmat-14,rmat-15,rmat-16,twitter", "comma-separated datasets (rmat-N allowed)")
+		seed     = flag.Int64("seed", 1, "partitioner seed")
+	)
+	flag.Parse()
+
+	model := loader.DefaultModel()
+	machines := []int{2, 4, 8, 16}
+
+	fmt.Printf("Figure 6: loading times (simulated seconds); dataset size doubles left to right\n")
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		g, label, err := load(name, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hourglass-load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n== %s (%d vertices, %d edges, %.1f MB on disk) ==\n",
+			label, g.NumVertices(), g.NumLogicalEdges(), float64(model.DiskBytes(g))/1e6)
+		fmt.Printf("%-14s", "#machines")
+		for _, m := range machines {
+			fmt.Printf("%12d", m)
+		}
+		fmt.Println()
+
+		mp, err := micro.BuildForConfigs(g, partition.Multilevel{Seed: *seed}, machines, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hourglass-load:", err)
+			os.Exit(1)
+		}
+
+		rows := []struct {
+			label string
+			f     func(k int) (loader.Result, error)
+		}{
+			{"Stream", func(k int) (loader.Result, error) { return model.Stream(g, k) }},
+			{"Hash", func(k int) (loader.Result, error) {
+				assign := partition.Hash{}.Partition(g, k).Assign
+				return model.Hash(g, assign, k)
+			}},
+			{"Micro", func(k int) (loader.Result, error) {
+				va, err := mp.VertexAssignment(k)
+				if err != nil {
+					return loader.Result{}, err
+				}
+				return model.Micro(g, va.Assign, k)
+			}},
+		}
+		for _, row := range rows {
+			fmt.Printf("%-14s", row.label+" Loader")
+			for _, m := range machines {
+				r, err := row.f(m)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "hourglass-load:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%11.3fs", float64(r.Total()))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func load(name string, scale float64) (*graph.Graph, string, error) {
+	if strings.HasPrefix(name, "rmat-") {
+		var n int
+		if _, err := fmt.Sscanf(name, "rmat-%d", &n); err != nil {
+			return nil, "", fmt.Errorf("bad rmat dataset %q", name)
+		}
+		d := graph.RMATDataset(n)
+		return graph.Load(d, 1.0), d.Name, nil
+	}
+	d, err := graph.ByName(name)
+	if err != nil {
+		return nil, "", err
+	}
+	return graph.Load(d, scale), d.Name, nil
+}

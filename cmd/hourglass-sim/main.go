@@ -1,0 +1,158 @@
+// Command hourglass-sim regenerates the provisioning experiments of
+// the paper:
+//
+//	hourglass-sim -fig 1    # Figure 1: the dilemma (GC, 50% slack)
+//	hourglass-sim -fig 5    # Figure 5: 5 provisioners × 3 jobs × 10 slacks
+//	hourglass-sim -fig 7    # Figure 7: GC ablation (micro-partitioning on/off)
+//
+// Results are trace-driven simulations over synthetic spot-price
+// months (deterministic per seed); bars print as normalized cost vs.
+// the on-demand baseline with the missed-deadline percentage alongside,
+// matching the figures' layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hourglass"
+	"hourglass/internal/perfmodel"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 5, "figure to regenerate (1, 5, or 7)")
+		runs = flag.Int("runs", 200, "simulations per bar (paper: 2000)")
+		seed = flag.Int64("seed", 42, "trace seed")
+		days = flag.Float64("days", 10, "length of each synthetic price month")
+	)
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		figure1(*runs, *seed, *days)
+	case 5:
+		figure5(*runs, *seed, *days)
+	case 7:
+		figure7(*runs, *seed, *days)
+	default:
+		fmt.Fprintln(os.Stderr, "hourglass-sim: -fig must be 1, 5 or 7")
+		os.Exit(2)
+	}
+}
+
+func newSystem(seed int64, days float64, model *perfmodel.Model) *hourglass.System {
+	sys, err := hourglass.New(hourglass.Options{Seed: seed, TraceDays: days, Model: model})
+	if err != nil {
+		fatal(err)
+	}
+	return sys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hourglass-sim:", err)
+	os.Exit(1)
+}
+
+// figure1 reproduces the motivating comparison: eager (greedy) vs the
+// naive DP fix vs slack-aware vs slack-aware + fast reload, on the GC
+// job with a 50% slack (the paper's 4h job / 6h period scenario).
+func figure1(runs int, seed int64, days float64) {
+	const slack = 0.5
+	fmt.Printf("Figure 1: GC job, %d runs per bar, slack %.0f%% (cost normalized to on-demand)\n\n", runs, slack*100)
+	fmt.Printf("%-36s %14s %10s\n", "strategy", "norm. cost", "missed")
+
+	// Eager and the naive fix use hash loading (no offline phase, full
+	// shuffle on every reload); the slack-aware bar without fast
+	// reload pays per-config offline METIS plus shuffle reloads; fast
+	// reload switches to micro-partitions (one offline run, shuffle-free
+	// reloads).
+	hash := perfmodel.Default().WithLoading(perfmodel.LoadHash)
+	metis := perfmodel.Default().WithLoading(perfmodel.LoadMETIS)
+	fast := perfmodel.Default().WithLoading(perfmodel.LoadMicro)
+
+	bars := []struct {
+		label    string
+		model    *perfmodel.Model
+		strategy hourglass.Strategy
+	}{
+		{"Eager (greedy, SpotOn-like)", hash, hourglass.StrategyProteus},
+		{"Hourglass Naive (greedy+DP)", hash, hourglass.StrategyNaive},
+		{"Hourglass Slack-Aware", metis, hourglass.StrategyHourglass},
+		{"Hourglass Slack-Aware + Fast Reload", fast, hourglass.StrategyHourglass},
+	}
+	for _, b := range bars {
+		sys := newSystem(seed, days, b.model)
+		res, err := sys.Simulate(hourglass.GC, b.strategy, slack, runs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-36s %13.2f× %9.0f%%\n", b.label, res.MeanNormCost, res.MissedFraction*100)
+	}
+}
+
+// figure5 reproduces the 30-scenario comparison: {SSSP, PageRank, GC} ×
+// slacks 10–100% × {Hourglass, Proteus, SpotOn, Proteus+DP, SpotOn+DP}.
+func figure5(runs int, seed int64, days float64) {
+	jobs := []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC}
+	strategies := []hourglass.Strategy{
+		hourglass.StrategyHourglass, hourglass.StrategyProteus, hourglass.StrategySpotOn,
+		hourglass.StrategyProteusDP, hourglass.StrategySpotOnDP,
+	}
+	sys := newSystem(seed, days, nil)
+	fmt.Printf("Figure 5: normalized cost (missed%%), %d runs per cell\n", runs)
+	for _, job := range jobs {
+		fmt.Printf("\n== %s ==\n%-14s", job, "slack")
+		for s := 1; s <= 10; s++ {
+			fmt.Printf("%14d%%", s*10)
+		}
+		fmt.Println()
+		for _, st := range strategies {
+			fmt.Printf("%-14s", st)
+			for s := 1; s <= 10; s++ {
+				res, err := sys.Simulate(job, st, float64(s)/10, runs)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("   %5.2f (%3.0f%%)", res.MeanNormCost, res.MissedFraction*100)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// figure7 zooms into GC: the slack-aware strategy with and without
+// micro-partitioning, against SpotOn+DP with micro-partitioning.
+func figure7(runs int, seed int64, days float64) {
+	fmt.Printf("Figure 7: GC cost reductions, %d runs per point\n\n%-26s", runs, "slack")
+	slacks := []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, s := range slacks {
+		fmt.Printf("%9.0f%%", s*100)
+	}
+	fmt.Println()
+
+	metis := perfmodel.Default().WithLoading(perfmodel.LoadMETIS)
+	micro := perfmodel.Default().WithLoading(perfmodel.LoadMicro)
+	rows := []struct {
+		label    string
+		model    *perfmodel.Model
+		strategy hourglass.Strategy
+	}{
+		{"SlackAware+METIS", metis, hourglass.StrategyHourglass},
+		{"SlackAware+microMETIS", micro, hourglass.StrategyHourglass},
+		{"SpotOn+DP+microMETIS", micro, hourglass.StrategySpotOnDP},
+	}
+	for _, r := range rows {
+		sys := newSystem(seed, days, r.model)
+		fmt.Printf("%-26s", r.label)
+		for _, s := range slacks {
+			res, err := sys.Simulate(hourglass.GC, r.strategy, s, runs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%9.2f", res.MeanNormCost)
+		}
+		fmt.Println()
+	}
+}

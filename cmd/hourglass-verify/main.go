@@ -1,0 +1,114 @@
+// Command hourglass-verify sweeps every job × slack × deadline-keeping
+// strategy and reports any run that misses its deadline. Hourglass and
+// the +DP wrappers are supposed to never miss (the paper's core
+// guarantee); a non-empty report is a bug.
+//
+//	hourglass-verify -runs 60 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hourglass"
+	"hourglass/internal/core"
+	"hourglass/internal/sim"
+	"hourglass/internal/units"
+)
+
+func main() {
+	var (
+		runs = flag.Int("runs", 60, "runs per cell")
+		seed = flag.Int64("seed", 42, "trace seed")
+		days = flag.Float64("days", 10, "synthetic month length")
+	)
+	flag.Parse()
+
+	sys, err := hourglass.New(hourglass.Options{Seed: *seed, TraceDays: *days})
+	if err != nil {
+		fatal(err)
+	}
+	type task struct {
+		job   hourglass.JobKind
+		env   *core.Env
+		frac  float64
+		start units.Seconds
+		rel   units.Seconds
+		mk    func() core.Provisioner
+		name  string
+	}
+	var tasks []task
+	for _, job := range []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC} {
+		env, err := sys.Env(job)
+		if err != nil {
+			fatal(err)
+		}
+		for slack := 1; slack <= 10; slack++ {
+			frac := float64(slack) / 10
+			rel := env.LRC.Fixed + env.LRC.Exec + units.Seconds(frac*float64(env.LRC.Exec))
+			rng := rand.New(rand.NewSource(*seed + int64(frac*1000)))
+			horizon := units.Seconds(*days) * units.Day
+			for i := 0; i < *runs; i++ {
+				start := units.Seconds(rng.Float64() * float64(horizon))
+				for _, strat := range []struct {
+					name string
+					mk   func() core.Provisioner
+				}{
+					{"hourglass", func() core.Provisioner { return core.NewSlackAware(env) }},
+					{"proteus+dp", func() core.Provisioner { return core.NewDP(core.NewGreedy(env), env) }},
+					{"spoton+dp", func() core.Provisioner { return core.NewDP(core.NewSpotOn(env), env) }},
+				} {
+					tasks = append(tasks, task{job, env, frac, start, rel, strat.mk, strat.name})
+				}
+			}
+		}
+	}
+
+	var misses atomic.Int64
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tk := tasks[i]
+				runner := &sim.Runner{Env: tk.env}
+				res, err := runner.Run(tk.mk(), tk.start, tk.start+tk.rel)
+				switch {
+				case err != nil:
+					mu.Lock()
+					fmt.Printf("ERROR %s %s slack=%.0f%%: %v\n", tk.name, tk.job, tk.frac*100, err)
+					mu.Unlock()
+					misses.Add(1)
+				case res.MissedDeadline || !res.Finished:
+					mu.Lock()
+					fmt.Printf("MISS %s %s slack=%.0f%% start=%v late=%v\n",
+						tk.name, tk.job, tk.frac*100, tk.start, res.Completion-(tk.start+tk.rel))
+					mu.Unlock()
+					misses.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("verified %d runs: %d deadline misses\n", len(tasks), misses.Load())
+	if misses.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hourglass-verify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Custom market: replace the synthetic spot months with your own price
+// traces (e.g. exported from `aws ec2 describe-spot-price-history`).
+// This example writes a synthetic month to CSV, re-ingests it through
+// the public trace reader — exactly the path a real AWS dump takes —
+// and simulates Hourglass against the ingested market.
+//
+//	go run ./examples/custom-market
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+)
+
+func main() {
+	// 1. Export a market to CSV (stand-in for a real AWS dump).
+	var csvs = map[string]*bytes.Buffer{}
+	for _, it := range cloud.Catalogue() {
+		tr := cloud.Generate(it, cloud.GenParams{Days: 7, Seed: 123})
+		buf := &bytes.Buffer{}
+		if err := cloud.WriteTraceCSV(buf, tr); err != nil {
+			log.Fatal(err)
+		}
+		csvs[it.Name] = buf
+		s := cloud.ComputeMarketStats(it, tr)
+		fmt.Printf("%-12s %.1f%% discount, %.1f evictions/day, MTTF %v\n",
+			it.Name, s.MeanDiscount*100, s.CrossingsPday, s.MTTF)
+	}
+
+	// 2. Ingest the CSVs back — the same call works on real dumps.
+	live := cloud.TraceSet{}
+	for name, buf := range csvs {
+		tr, err := cloud.ReadTraceCSV(buf, name, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live[name] = tr
+	}
+
+	// 3. Simulate against the ingested market.
+	sys, err := hourglass.New(hourglass.Options{Seed: 99, LiveTraces: live})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, st := range []hourglass.Strategy{hourglass.StrategyOnDemand, hourglass.StrategyHourglass} {
+		res, err := sys.Simulate(hourglass.PageRank, st, 0.5, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s cost %.2f× on-demand, missed %.0f%%\n",
+			st, res.MeanNormCost, res.MissedFraction*100)
+	}
+}

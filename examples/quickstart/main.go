@@ -1,0 +1,52 @@
+// Quickstart: provision a deadline-bound graph-processing job with
+// Hourglass and compare its cost against always-on-demand.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hourglass"
+)
+
+func main() {
+	// A System bundles synthetic spot-price months (deterministic for
+	// the seed), the eviction model fitted on the "historical" month,
+	// and the calibrated performance model.
+	sys, err := hourglass.New(hourglass.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's headline scenario: a 4-hour graph-coloring job that
+	// must finish within a 6-hour window (50% slack), re-run 4×/day.
+	const slack = 0.5
+	deadline, err := sys.DeadlineFor(hourglass.GC, slack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GraphColoring: deadline %v after snapshot (50%% slack)\n\n", deadline)
+
+	for _, strategy := range []hourglass.Strategy{
+		hourglass.StrategyOnDemand,
+		hourglass.StrategyHourglass,
+	} {
+		res, err := sys.Simulate(hourglass.GC, strategy, slack, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  cost %.2f× on-demand   missed deadlines %.0f%%   evictions/run %.1f\n",
+			strategy, res.MeanNormCost, res.MissedFraction*100, res.MeanEvictions)
+	}
+
+	// A single run in detail.
+	start, _ := sys.DeadlineFor(hourglass.GC, 0) // arbitrary trace offset
+	one, err := sys.SimulateOne(hourglass.GC, hourglass.StrategyHourglass, start, start+deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsample run: cost %v, finished=%v, evictions=%d, reconfigs=%d, checkpoints=%d\n",
+		one.Cost, one.Finished, one.Evictions, one.Reconfigs, one.Checkpoints)
+}

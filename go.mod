@@ -1,0 +1,3 @@
+module hourglass
+
+go 1.22

@@ -1,0 +1,166 @@
+package hourglass_test
+
+import (
+	"testing"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+)
+
+func newSystem(t testing.TB) *hourglass.System {
+	t.Helper()
+	sys, err := hourglass.New(hourglass.Options{Seed: 5, TraceDays: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemConstruction(t *testing.T) {
+	sys := newSystem(t)
+	for _, job := range []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC} {
+		env, err := sys.Env(job)
+		if err != nil {
+			t.Fatalf("%s: %v", job, err)
+		}
+		if env.LRC.Config.Transient {
+			t.Errorf("%s: transient LRC", job)
+		}
+		base, err := sys.Baseline(job)
+		if err != nil || base <= 0 {
+			t.Errorf("%s: baseline %v, %v", job, base, err)
+		}
+	}
+	if _, err := sys.Env(hourglass.JobKind("nope")); err == nil {
+		t.Error("unknown job accepted")
+	}
+}
+
+func TestEnvMemoised(t *testing.T) {
+	sys := newSystem(t)
+	a, err := sys.Env(hourglass.SSSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sys.Env(hourglass.SSSP)
+	if a != b {
+		t.Error("Env not memoised")
+	}
+}
+
+func TestProvisionerFactory(t *testing.T) {
+	sys := newSystem(t)
+	for _, st := range hourglass.Strategies() {
+		p, err := sys.Provisioner(hourglass.PageRank, st)
+		if err != nil {
+			t.Fatalf("%s: %v", st, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty provisioner name", st)
+		}
+	}
+	if _, err := sys.Provisioner(hourglass.PageRank, hourglass.Strategy("nope")); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestDeadlineForGrowsWithSlack(t *testing.T) {
+	sys := newSystem(t)
+	d1, err := sys.DeadlineFor(hourglass.GC, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sys.DeadlineFor(hourglass.GC, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Errorf("deadline did not grow with slack: %v vs %v", d1, d2)
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	sys := newSystem(t)
+	hg, err := sys.Simulate(hourglass.PageRank, hourglass.StrategyHourglass, 0.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.MissedFraction != 0 {
+		t.Errorf("hourglass missed %.0f%%", hg.MissedFraction*100)
+	}
+	od, err := sys.Simulate(hourglass.PageRank, hourglass.StrategyOnDemand, 0.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.MeanNormCost >= od.MeanNormCost {
+		t.Errorf("hourglass %.2f not cheaper than on-demand %.2f", hg.MeanNormCost, od.MeanNormCost)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := newSystem(t)
+	b := newSystem(t)
+	ra, err := a.Simulate(hourglass.SSSP, hourglass.StrategyHourglass, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Simulate(hourglass.SSSP, hourglass.StrategyHourglass, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.MeanCost != rb.MeanCost || ra.MissedFraction != rb.MissedFraction {
+		t.Errorf("same seed diverged: %+v vs %+v", ra, rb)
+	}
+}
+
+func TestSimulateOne(t *testing.T) {
+	sys := newSystem(t)
+	deadline, err := sys.DeadlineFor(hourglass.SSSP, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.SimulateOne(hourglass.SSSP, hourglass.StrategyHourglass, 1000, 1000+deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || res.Cost <= 0 {
+		t.Errorf("run: %+v", res)
+	}
+}
+
+// newCalmSystem builds a System over hand-made flat spot traces (deep
+// discount, never crossing the bid).
+func newCalmSystem(t testing.TB) *hourglass.System {
+	t.Helper()
+	calm := cloud.TraceSet{}
+	for _, it := range cloud.Catalogue() {
+		prices := make([]float64, 10*24*60) // 10 days at 1-minute steps
+		for i := range prices {
+			prices[i] = float64(it.OnDemand) * 0.2
+		}
+		calm[it.Name] = &cloud.PriceTrace{Instance: it.Name, Step: 60, Prices: prices}
+	}
+	// The eviction model needs *some* evictions to be finite; fit it on
+	// a synthetic month but simulate against the calm market.
+	sys, err := hourglass.New(hourglass.Options{Seed: 3, TraceDays: 10, LiveTraces: calm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCustomTraceOverride(t *testing.T) {
+	// Calm custom market (no spikes): Hourglass runs entirely on spot
+	// with zero evictions and an ~80% discount.
+	sys := newCalmSystem(t)
+	res, err := sys.Simulate(hourglass.PageRank, hourglass.StrategyHourglass, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanEvictions != 0 {
+		t.Errorf("calm market produced %.2f evictions/run", res.MeanEvictions)
+	}
+	if res.MissedFraction != 0 {
+		t.Errorf("missed %.2f", res.MissedFraction)
+	}
+}

@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hourglass/internal/units"
+)
+
+func TestDalyIntervalFormula(t *testing.T) {
+	// √(2·8·3600) = 240.
+	got := DalyInterval(8, 3600)
+	if math.Abs(float64(got)-240) > 1e-9 {
+		t.Errorf("interval = %v, want 240", got)
+	}
+}
+
+func TestDalyDegenerate(t *testing.T) {
+	if !math.IsInf(float64(DalyInterval(0, 100)), 1) {
+		t.Error("tSave=0 should never checkpoint")
+	}
+	if !math.IsInf(float64(DalyInterval(10, 0)), 1) {
+		t.Error("mttf=0 should be Inf")
+	}
+	if !math.IsInf(float64(DalyHigherOrder(0, 100)), 1) {
+		t.Error("higher-order tSave=0 should be Inf")
+	}
+	if DalyHigherOrder(500, 100) != 100 {
+		t.Error("tSave ≥ 2·MTTF should degenerate to MTTF")
+	}
+}
+
+func TestHigherOrderCloseToFirstOrderWhenCheap(t *testing.T) {
+	fo := float64(DalyInterval(1, 10000))
+	ho := float64(DalyHigherOrder(1, 10000))
+	if math.Abs(fo-ho)/fo > 0.05 {
+		t.Errorf("orders diverge for cheap checkpoints: %v vs %v", fo, ho)
+	}
+}
+
+func TestExpectedOverheadMinimisedNearDaly(t *testing.T) {
+	tSave, mttf := units.Seconds(10), units.Seconds(7200)
+	opt := DalyInterval(tSave, mttf)
+	base := ExpectedOverhead(opt, tSave, mttf)
+	for _, factor := range []float64{0.25, 0.5, 2, 4} {
+		other := ExpectedOverhead(opt*units.Seconds(factor), tSave, mttf)
+		if other < base-1e-12 {
+			t.Errorf("interval %v× Daly has lower overhead (%v < %v)", factor, other, base)
+		}
+	}
+}
+
+func TestExpectedOverheadDegenerate(t *testing.T) {
+	if !math.IsInf(ExpectedOverhead(0, 1, 1), 1) {
+		t.Error("zero interval should be Inf")
+	}
+}
+
+// Property: the Daly interval grows with both tSave and MTTF.
+func TestQuickDalyMonotone(t *testing.T) {
+	f := func(a uint16, b uint32) bool {
+		s1 := units.Seconds(a%1000 + 1)
+		m1 := units.Seconds(b%100000 + 100)
+		i1 := DalyInterval(s1, m1)
+		return DalyInterval(s1*2, m1) >= i1 && DalyInterval(s1, m1*2) >= i1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

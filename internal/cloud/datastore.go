@@ -1,0 +1,102 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"hourglass/internal/units"
+)
+
+// Datastore is the S3 stand-in: a durable blob store surviving full
+// cluster failures (the paper modifies Giraph to checkpoint to S3
+// rather than HDFS exactly for this reason, §7). Reads and writes
+// report the virtual transfer time under simple bandwidth caps.
+type Datastore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+
+	// PerConnBandwidth caps one transfer; Aggregate caps the sum of a
+	// parallel batch (bytes/second).
+	PerConnBandwidth float64
+	Aggregate        float64
+}
+
+// NewDatastore builds a store with S3-like default bandwidths
+// (250 MB/s per connection, 4 GB/s aggregate).
+func NewDatastore() *Datastore {
+	return &Datastore{
+		objects:          map[string][]byte{},
+		PerConnBandwidth: 250e6,
+		Aggregate:        4e9,
+	}
+}
+
+// Put stores a blob and returns the virtual upload time.
+func (d *Datastore) Put(key string, data []byte) units.Seconds {
+	d.mu.Lock()
+	d.objects[key] = append([]byte(nil), data...)
+	d.mu.Unlock()
+	return units.Seconds(float64(len(data)) / d.PerConnBandwidth)
+}
+
+// Get fetches a blob and the virtual download time.
+func (d *Datastore) Get(key string) ([]byte, units.Seconds, error) {
+	d.mu.RLock()
+	data, ok := d.objects[key]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("cloud: datastore has no object %q", key)
+	}
+	return data, units.Seconds(float64(len(data)) / d.PerConnBandwidth), nil
+}
+
+// GetReader is Get exposed as an io.Reader for codec pipelines.
+func (d *Datastore) GetReader(key string) (*bytes.Reader, units.Seconds, error) {
+	data, t, err := d.Get(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bytes.NewReader(data), t, nil
+}
+
+// Delete removes a blob (idempotent).
+func (d *Datastore) Delete(key string) {
+	d.mu.Lock()
+	delete(d.objects, key)
+	d.mu.Unlock()
+}
+
+// Exists reports whether the key is stored.
+func (d *Datastore) Exists(key string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.objects[key]
+	return ok
+}
+
+// ParallelTransferTime returns the virtual time for n nodes to move
+// bytesPerNode each concurrently, under the per-connection and
+// aggregate caps — the timing model for parallel checkpoint uploads
+// and micro-partition downloads.
+func (d *Datastore) ParallelTransferTime(n int, bytesPerNode int64) units.Seconds {
+	if n <= 0 || bytesPerNode <= 0 {
+		return 0
+	}
+	perNode := d.PerConnBandwidth
+	if share := d.Aggregate / float64(n); share < perNode {
+		perNode = share
+	}
+	return units.Seconds(float64(bytesPerNode) / perNode)
+}
+
+// TotalBytes reports the stored volume (for tests and reporting).
+func (d *Datastore) TotalBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	for _, b := range d.objects {
+		total += int64(len(b))
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package cloud
+
+import (
+	"fmt"
+
+	"hourglass/internal/units"
+)
+
+// Market answers the price/eviction questions the provisioner and the
+// simulator ask, for a fixed trace set. Bids equal the on-demand price
+// (§7: "we simply bid the on-demand price"; post-2017 AWS makes the
+// bid irrelevant to eviction timing anyway).
+type Market struct {
+	traces TraceSet
+	// BidFactor scales the bid relative to the on-demand price
+	// (0 = 1.0, the paper's policy). Post-2017 AWS makes the bid
+	// irrelevant to eviction timing; the knob exists for sensitivity
+	// ablations against the older bid-based eviction model.
+	BidFactor float64
+}
+
+// NewMarket wraps a trace set.
+func NewMarket(traces TraceSet) *Market { return &Market{traces: traces} }
+
+// bid returns the effective bid for an instance type.
+func (m *Market) bid(it InstanceType) float64 {
+	f := m.BidFactor
+	if f == 0 {
+		f = 1.0
+	}
+	return f * float64(it.OnDemand)
+}
+
+// TraceFor exposes the underlying price trace of an instance type
+// (simulators use it to bound random start offsets).
+func (m *Market) TraceFor(name string) (*PriceTrace, error) {
+	return m.traces.Trace(name)
+}
+
+// SpotPrice returns the current $/hour spot price of an instance type.
+func (m *Market) SpotPrice(it InstanceType, at units.Seconds) (float64, error) {
+	t, err := m.traces.Trace(it.Name)
+	if err != nil {
+		return 0, err
+	}
+	return t.PriceAt(at), nil
+}
+
+// Rate returns the configuration's current price per second: the spot
+// market price for transient configs, the list price otherwise.
+func (m *Market) Rate(c Config, at units.Seconds) (units.USD, error) {
+	if !c.Transient {
+		return c.OnDemandRate(), nil
+	}
+	p, err := m.SpotPrice(c.Instance, at)
+	if err != nil {
+		return 0, err
+	}
+	return units.USD(p / float64(units.Hour) * float64(c.Count)), nil
+}
+
+// Cost integrates what running c over [t0, t1) costs.
+func (m *Market) Cost(c Config, t0, t1 units.Seconds) (units.USD, error) {
+	if t1 <= t0 {
+		return 0, nil
+	}
+	if !c.Transient {
+		return units.USD(float64(c.OnDemandRate()) * float64(t1-t0)), nil
+	}
+	t, err := m.traces.Trace(c.Instance.Name)
+	if err != nil {
+		return 0, err
+	}
+	return units.USD(float64(t.CostBetween(t0, t1)) * float64(c.Count)), nil
+}
+
+// NextEviction returns when a transient configuration started (or
+// observed) at `from` is evicted: the first spot-price crossing above
+// the on-demand bid. For on-demand configurations it returns ok=false
+// (never evicted). Homogeneous deployments share one market, so a
+// crossing evicts the whole configuration at once.
+func (m *Market) NextEviction(c Config, from units.Seconds) (units.Seconds, bool, error) {
+	if !c.Transient {
+		return 0, false, nil
+	}
+	t, err := m.traces.Trace(c.Instance.Name)
+	if err != nil {
+		return 0, false, err
+	}
+	at, ok := t.NextCrossing(from, m.bid(c.Instance))
+	return at, ok, nil
+}
+
+// Available reports whether the spot price is at or below the bid at
+// time `at` (a request made during a spike is not fulfilled).
+func (m *Market) Available(c Config, at units.Seconds) (bool, error) {
+	if !c.Transient {
+		return true, nil
+	}
+	p, err := m.SpotPrice(c.Instance, at)
+	if err != nil {
+		return false, err
+	}
+	return p <= m.bid(c.Instance), nil
+}
+
+// NextAvailable returns the earliest time ≥ from at which the spot
+// request for c can be fulfilled.
+func (m *Market) NextAvailable(c Config, from units.Seconds) (units.Seconds, error) {
+	if !c.Transient {
+		return from, nil
+	}
+	t, err := m.traces.Trace(c.Instance.Name)
+	if err != nil {
+		return 0, err
+	}
+	bid := m.bid(c.Instance)
+	step := t.Step
+	for off := units.Seconds(0); off < t.Duration(); off += step {
+		if t.PriceAt(from+off) <= bid {
+			return from + off, nil
+		}
+	}
+	return 0, fmt.Errorf("cloud: %s never available in trace", c.ID())
+}

@@ -1,0 +1,66 @@
+package cloud
+
+import (
+	"math"
+	"sort"
+
+	"hourglass/internal/units"
+)
+
+// MarketStats summarises one instance type's spot market over a trace
+// — the "historical statistics" the paper derives from the October
+// trace (§8.1): average prices, discount level, eviction frequency.
+type MarketStats struct {
+	Instance      string
+	OnDemand      float64 // $/h list price
+	MeanSpot      float64 // $/h
+	MedianSpot    float64
+	MeanDiscount  float64 // 1 − meanSpot/onDemand
+	CrossingsPday float64 // evictions per day (price-over-bid episodes)
+	AboveBidFrac  float64 // fraction of time the market is unavailable
+	MTTF          units.Seconds
+}
+
+// ComputeMarketStats scans a trace and derives the summary.
+func ComputeMarketStats(it InstanceType, tr *PriceTrace) MarketStats {
+	s := MarketStats{Instance: it.Name, OnDemand: float64(it.OnDemand)}
+	if len(tr.Prices) == 0 {
+		return s
+	}
+	bid := float64(it.OnDemand)
+	sorted := make([]float64, len(tr.Prices))
+	copy(sorted, tr.Prices)
+	sort.Float64s(sorted)
+	s.MedianSpot = sorted[len(sorted)/2]
+
+	var sum float64
+	above := 0
+	crossings := 0
+	prevAbove := false
+	for _, p := range tr.Prices {
+		sum += p
+		isAbove := p > bid
+		if isAbove {
+			above++
+			if !prevAbove {
+				crossings++
+			}
+		}
+		prevAbove = isAbove
+	}
+	n := float64(len(tr.Prices))
+	s.MeanSpot = sum / n
+	s.MeanDiscount = 1 - s.MeanSpot/s.OnDemand
+	days := float64(tr.Duration()) / float64(units.Day)
+	if days > 0 {
+		s.CrossingsPday = float64(crossings) / days
+	}
+	s.AboveBidFrac = float64(above) / n
+	if crossings > 0 {
+		// Mean available stretch between eviction episodes.
+		s.MTTF = units.Seconds(float64(tr.Duration()) * (1 - s.AboveBidFrac) / float64(crossings))
+	} else {
+		s.MTTF = units.Seconds(math.Inf(1))
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"hourglass/internal/units"
+)
+
+func TestComputeMarketStats(t *testing.T) {
+	// Hand-built trace: bid 1.0; prices [0.2, 0.2, 1.5, 0.2] over 4
+	// minutes: one crossing episode, 25% unavailable.
+	it := InstanceType{Name: "test", OnDemand: 1.0}
+	tr := &PriceTrace{Instance: "test", Step: 60, Prices: []float64{0.2, 0.2, 1.5, 0.2}}
+	s := ComputeMarketStats(it, tr)
+	if s.MeanSpot != (0.2+0.2+1.5+0.2)/4 {
+		t.Errorf("mean = %v", s.MeanSpot)
+	}
+	if s.MedianSpot != 0.2 {
+		t.Errorf("median = %v", s.MedianSpot)
+	}
+	if s.AboveBidFrac != 0.25 {
+		t.Errorf("unavail = %v", s.AboveBidFrac)
+	}
+	days := float64(tr.Duration()) / float64(units.Day)
+	if math.Abs(s.CrossingsPday-1/days) > 1e-9 {
+		t.Errorf("crossings/day = %v, want %v", s.CrossingsPday, 1/days)
+	}
+	if s.MTTF <= 0 || math.IsInf(float64(s.MTTF), 1) {
+		t.Errorf("MTTF = %v", s.MTTF)
+	}
+}
+
+func TestComputeMarketStatsNoEvictions(t *testing.T) {
+	it := InstanceType{Name: "calm", OnDemand: 1.0}
+	tr := &PriceTrace{Instance: "calm", Step: 60, Prices: []float64{0.2, 0.3}}
+	s := ComputeMarketStats(it, tr)
+	if !math.IsInf(float64(s.MTTF), 1) {
+		t.Errorf("calm market MTTF = %v, want +Inf", s.MTTF)
+	}
+	if s.CrossingsPday != 0 || s.AboveBidFrac != 0 {
+		t.Errorf("calm market stats: %+v", s)
+	}
+}
+
+func TestComputeMarketStatsEmpty(t *testing.T) {
+	s := ComputeMarketStats(R4Large2, &PriceTrace{Instance: "x", Step: 60})
+	if s.MeanSpot != 0 {
+		t.Errorf("empty trace stats: %+v", s)
+	}
+}
+
+func TestSyntheticMarketsAreDiscountedAndEvicting(t *testing.T) {
+	for _, it := range Catalogue() {
+		tr := Generate(it, GenParams{Days: 10, Seed: 42})
+		s := ComputeMarketStats(it, tr)
+		if s.MeanDiscount < 0.2 {
+			t.Errorf("%s: discount %.2f too shallow", it.Name, s.MeanDiscount)
+		}
+		if s.CrossingsPday < 1 || s.CrossingsPday > 20 {
+			t.Errorf("%s: %v evictions/day outside the paper-era regime", it.Name, s.CrossingsPday)
+		}
+		if s.MTTF < units.Hour || s.MTTF > units.Day {
+			t.Errorf("%s: MTTF %v outside a few-hours regime", it.Name, s.MTTF)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cloud
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"hourglass/internal/units"
+)
+
+// WriteTraceCSV serialises a price trace as "seconds,price" rows with a
+// one-line header. The format round-trips through ReadTraceCSV and is
+// easy to produce from real AWS spot-price history dumps
+// (describe-spot-price-history), letting users replace the synthetic
+// months with real ones.
+func WriteTraceCSV(w io.Writer, t *PriceTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# instance=%s step=%g\n", t.Instance, float64(t.Step)); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(bw)
+	for i, p := range t.Prices {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*float64(t.Step), 'f', -1, 64),
+			strconv.FormatFloat(p, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTraceCSV parses "seconds,price" rows into a fixed-step trace.
+// Rows need not be evenly spaced: the price series is resampled onto
+// the given step by last-observation-carried-forward, which is exactly
+// how spot prices behave (a price persists until the next change).
+// Rows must be sorted by time; a header line starting with '#' is
+// skipped.
+func ReadTraceCSV(r io.Reader, instance string, step units.Seconds) (*PriceTrace, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("cloud: non-positive step %v", step)
+	}
+	br := bufio.NewReader(r)
+	// Skip the optional comment header.
+	if b, err := br.Peek(1); err == nil && len(b) == 1 && b[0] == '#' {
+		if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = 2
+	type point struct {
+		at    float64
+		price float64
+	}
+	var pts []point
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cloud: trace csv: %w", err)
+		}
+		at, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: trace csv time %q: %w", rec[0], err)
+		}
+		price, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: trace csv price %q: %w", rec[1], err)
+		}
+		if price < 0 {
+			return nil, fmt.Errorf("cloud: negative price %g at %gs", price, at)
+		}
+		pts = append(pts, point{at, price})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("cloud: empty trace")
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].at < pts[j].at }) {
+		return nil, fmt.Errorf("cloud: trace rows not sorted by time")
+	}
+	horizon := pts[len(pts)-1].at + float64(step)
+	n := int(math.Ceil(horizon / float64(step)))
+	if n < 1 {
+		n = 1
+	}
+	prices := make([]float64, n)
+	cur := pts[0].price
+	pi := 0
+	for i := 0; i < n; i++ {
+		at := float64(i) * float64(step)
+		for pi < len(pts) && pts[pi].at <= at {
+			cur = pts[pi].price
+			pi++
+		}
+		prices[i] = cur
+	}
+	return &PriceTrace{Instance: instance, Step: step, Prices: prices}, nil
+}

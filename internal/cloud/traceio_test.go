@@ -1,0 +1,75 @@
+package cloud
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := Generate(R4Large4, GenParams{Days: 1, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(&buf, orig.Instance, orig.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Prices) != len(orig.Prices) {
+		t.Fatalf("length %d after round trip, want %d", len(back.Prices), len(orig.Prices))
+	}
+	for i := range orig.Prices {
+		if back.Prices[i] != orig.Prices[i] {
+			t.Fatalf("price[%d] = %v, want %v", i, back.Prices[i], orig.Prices[i])
+		}
+	}
+}
+
+func TestReadTraceCSVResamplesLOCF(t *testing.T) {
+	// Price changes at 0s and 150s; resampled at 60s steps the price
+	// carries forward: [1, 1, 1(at 120s), 2, ...].
+	in := "0,1\n150,2\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in), "x", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PriceAt(0) != 1 || tr.PriceAt(120) != 1 {
+		t.Errorf("LOCF before change broken: %v %v", tr.PriceAt(0), tr.PriceAt(120))
+	}
+	if tr.PriceAt(180) != 2 {
+		t.Errorf("price after change = %v, want 2", tr.PriceAt(180))
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"badtime", "x,1\n"},
+		{"badprice", "0,x\n"},
+		{"negative", "0,-1\n"},
+		{"unsorted", "100,1\n0,2\n"},
+		{"fields", "0,1,2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(c.in), "x", 60); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := ReadTraceCSV(strings.NewReader("0,1\n"), "x", 0); err == nil {
+		t.Error("step 0 accepted")
+	}
+}
+
+func TestReadTraceCSVSkipsHeader(t *testing.T) {
+	in := "# instance=r4.2xlarge step=60\n0,0.5\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in), "r4.2xlarge", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PriceAt(0) != 0.5 {
+		t.Errorf("price = %v", tr.PriceAt(0))
+	}
+}

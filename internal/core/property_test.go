@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hourglass/internal/perfmodel"
+	"hourglass/internal/units"
+)
+
+// Economic invariants of the expected-cost model. These are the
+// properties a provisioning engine must satisfy regardless of trace or
+// calibration; violations indicate recursion or memoisation bugs.
+
+// EC never exceeds the last-resort cost: falling back immediately is
+// always an available plan, so the optimum is bounded by it. (Small
+// tolerance: the immediate interval is priced at live rates which can
+// sit above the historical average used by the bound.)
+func TestQuickECBoundedByLastResort(t *testing.T) {
+	env := testEnv(t, perfmodel.JobGC)
+	p := NewSlackAware(env)
+	f := func(rawW, rawSlack uint16) bool {
+		w := 0.05 + float64(rawW%1000)/1000*0.95
+		frac := float64(rawSlack%1000) / 1000
+		s := stateWithSlack(env, frac)
+		s.WorkLeft = w
+		// Recompute the deadline consistently with the reduced work: the
+		// state is "mid-run", so just shrink the horizon proportionally.
+		dec, err := p.Decide(s)
+		if err != nil {
+			return false
+		}
+		bound := float64(env.LRCFinishCost(w))
+		return float64(dec.ExpectedCost) <= bound*1.10+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// More remaining work never costs less, all else equal.
+func TestQuickECMonotoneInWork(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	p := NewSlackAware(env)
+	f := func(raw uint16) bool {
+		w := 0.1 + float64(raw%800)/1000 // [0.1, 0.9)
+		s := stateWithSlack(env, 0.6)
+		s.WorkLeft = w
+		lo := p.Evaluate(s)
+		s2 := s
+		s2.WorkLeft = w + 0.1
+		hi := p.Evaluate(s2)
+		// Allow 5% tolerance for memo-bucket boundaries.
+		return float64(hi) >= float64(lo)*0.95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A longer deadline (more slack) never makes the optimal plan
+// materially more expensive: every feasible plan remains feasible.
+func TestQuickECMonotoneInSlack(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	p := NewSlackAware(env)
+	f := func(raw uint16) bool {
+		frac := float64(raw%800) / 1000 // [0, 0.8)
+		s1 := stateWithSlack(env, frac)
+		s2 := stateWithSlack(env, frac+0.2)
+		c1 := p.Evaluate(s1)
+		c2 := p.Evaluate(s2)
+		return float64(c2) <= float64(c1)*1.05+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Zero work costs zero, for every strategy.
+func TestZeroWorkCostsZero(t *testing.T) {
+	env := testEnv(t, perfmodel.JobSSSP)
+	s := stateWithSlack(env, 0.5)
+	s.WorkLeft = 0
+	if got := NewSlackAware(env).Evaluate(s); got != 0 {
+		t.Errorf("EC(w=0) = %v", got)
+	}
+	x := NewExactEC(env)
+	x.Step = 10
+	if got, err := x.Evaluate(s); err != nil || got != 0 {
+		t.Errorf("exact EC(w=0) = %v, %v", got, err)
+	}
+}
+
+// The exact evaluator is deterministic: same state, same cost.
+func TestExactECDeterministic(t *testing.T) {
+	env := testEnv(t, perfmodel.JobSSSP)
+	s := stateWithSlack(env, 0.5)
+	x1 := NewExactEC(env)
+	x1.Step = 10
+	a, err := x1.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := NewExactEC(env)
+	x2.Step = 10
+	b, err := x2.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("exact EC nondeterministic: %v vs %v", a, b)
+	}
+}
+
+// The useful interval shrinks to nothing as the deadline approaches —
+// and so does the planned MaxRun the simulator relies on.
+func TestUsefulVanishesAtDeadline(t *testing.T) {
+	env := testEnv(t, perfmodel.JobGC)
+	var spot *ConfigStats
+	for i := range env.Stats {
+		if env.Stats[i].Config.Transient {
+			spot = &env.Stats[i]
+			break
+		}
+	}
+	prev := units.Seconds(1e18)
+	for _, frac := range []float64{1.0, 0.5, 0.2, 0.05, 0.0} {
+		s := stateWithSlack(env, frac)
+		u := env.Useful(spot, s, true)
+		if u > prev {
+			t.Errorf("useful grew as slack shrank: %v at %.2f", u, frac)
+		}
+		prev = u
+	}
+	s := stateWithSlack(env, 0.0)
+	if env.Useful(spot, s, true) > 0 {
+		t.Error("useful positive with zero slack (would break the guarantee)")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "hourglass/internal/units"
+
+// Relaxed implements the paper's "relaxed-Hourglass" discussion
+// (§8.2, "Relaxing the Deadlines"): run the standard slack-aware
+// strategy against a target *larger* than the real deadline. The
+// strategy then operates with an inflated slack and, under evictions,
+// switches to the last resort too late — trading occasional missed
+// deadlines for additional savings. Useful when the deadline is soft.
+type Relaxed struct {
+	Inner *SlackAware
+	// Extra is added to the real deadline before deciding.
+	Extra units.Seconds
+}
+
+// NewRelaxed wraps a slack-aware strategy with an inflated target.
+func NewRelaxed(env *Env, extra units.Seconds) *Relaxed {
+	return &Relaxed{Inner: NewSlackAware(env), Extra: extra}
+}
+
+// Name implements Provisioner.
+func (r *Relaxed) Name() string { return "hourglass-relaxed" }
+
+// Decide implements Provisioner.
+func (r *Relaxed) Decide(s State) (Decision, error) {
+	s.Deadline += r.Extra
+	return r.Inner.Decide(s)
+}

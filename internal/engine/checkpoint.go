@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hourglass/internal/graph"
+)
+
+// Snapshot is a consistent checkpoint of an execution, taken at a
+// superstep barrier. It contains only location-independent vertex
+// state, so it can be restored on a deployment with a different number
+// of workers and a different partitioning — the property that lets
+// Hourglass recover from evictions onto arbitrary configurations (§6).
+type Snapshot struct {
+	Program     string
+	Superstep   int
+	NumVertices int
+	Values      []float64
+	Active      []bool
+	// Pending are the messages delivered but not yet consumed (the
+	// inbox of the superstep the snapshot resumes into).
+	Pending   []Message
+	AggValues map[string]float64
+	// Aux carries program-specific per-vertex state (AuxState).
+	Aux []byte
+}
+
+// snapshot captures the current barrier state of a run.
+func (r *run) snapshot() (*Snapshot, error) {
+	s := &Snapshot{
+		Program:     r.prog.Name(),
+		Superstep:   r.superstep,
+		NumVertices: r.g.NumVertices(),
+		Values:      append([]float64(nil), r.values...),
+		Active:      append([]bool(nil), r.active...),
+		AggValues:   map[string]float64{},
+	}
+	for v, msgs := range r.inbox {
+		for _, m := range msgs {
+			s.Pending = append(s.Pending, Message{graph.VertexID(v), m})
+		}
+	}
+	for name, agg := range r.aggs {
+		s.AggValues[name] = agg.value
+	}
+	if aux, ok := r.prog.(AuxState); ok {
+		b, err := aux.MarshalAux()
+		if err != nil {
+			return nil, fmt.Errorf("engine: aux snapshot: %w", err)
+		}
+		s.Aux = b
+	}
+	return s, nil
+}
+
+const snapshotMagic = uint32(0x48474350) // "HGCP"
+
+// WriteTo serialises the snapshot (checkpoint upload to the datastore).
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) {
+		if bw.err == nil {
+			bw.err = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
+	write(snapshotMagic)
+	writeString(bw, write, s.Program)
+	write(uint32(s.Superstep))
+	write(uint64(s.NumVertices))
+	write(s.Values)
+	active := make([]uint8, len(s.Active))
+	for i, a := range s.Active {
+		if a {
+			active[i] = 1
+		}
+	}
+	write(active)
+	write(uint64(len(s.Pending)))
+	for _, m := range s.Pending {
+		write(int32(m.Dst))
+		write(m.Val)
+	}
+	write(uint32(len(s.AggValues)))
+	for name, v := range s.AggValues {
+		writeString(bw, write, name)
+		write(v)
+	}
+	write(uint64(len(s.Aux)))
+	if bw.err == nil && len(s.Aux) > 0 {
+		_, bw.err = bw.Write(s.Aux)
+	}
+	if bw.err == nil {
+		bw.err = bw.w.(*bufio.Writer).Flush()
+	}
+	return bw.n, bw.err
+}
+
+func writeString(bw *countingWriter, write func(any), s string) {
+	write(uint32(len(s)))
+	if bw.err == nil {
+		_, bw.err = bw.Write([]byte(s))
+	}
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadSnapshot deserialises a checkpoint written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("engine: bad checkpoint magic %#x", magic)
+	}
+	s := &Snapshot{AggValues: map[string]float64{}}
+	var err error
+	if s.Program, err = readString(br); err != nil {
+		return nil, err
+	}
+	var step uint32
+	if err := binary.Read(br, binary.LittleEndian, &step); err != nil {
+		return nil, err
+	}
+	s.Superstep = int(step)
+	var nv uint64
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, err
+	}
+	s.NumVertices = int(nv)
+	s.Values = make([]float64, nv)
+	if err := binary.Read(br, binary.LittleEndian, &s.Values); err != nil {
+		return nil, err
+	}
+	activeRaw := make([]uint8, nv)
+	if err := binary.Read(br, binary.LittleEndian, &activeRaw); err != nil {
+		return nil, err
+	}
+	s.Active = make([]bool, nv)
+	for i, a := range activeRaw {
+		s.Active[i] = a != 0
+	}
+	var np uint64
+	if err := binary.Read(br, binary.LittleEndian, &np); err != nil {
+		return nil, err
+	}
+	s.Pending = make([]Message, np)
+	for i := range s.Pending {
+		var dst int32
+		var val float64
+		if err := binary.Read(br, binary.LittleEndian, &dst); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &val); err != nil {
+			return nil, err
+		}
+		s.Pending[i] = Message{graph.VertexID(dst), val}
+	}
+	var na uint32
+	if err := binary.Read(br, binary.LittleEndian, &na); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < na; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var v float64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		s.AggValues[name] = v
+	}
+	var nx uint64
+	if err := binary.Read(br, binary.LittleEndian, &nx); err != nil {
+		return nil, err
+	}
+	if nx > 0 {
+		s.Aux = make([]byte, nx)
+		if _, err := io.ReadFull(br, s.Aux); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func readString(br io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// SizeBytes estimates the serialised size without writing (used by the
+// perf model to price a checkpoint upload).
+func (s *Snapshot) SizeBytes() int64 {
+	b := int64(4 + 4 + len(s.Program) + 4 + 8)
+	b += int64(len(s.Values)) * 8
+	b += int64(len(s.Active))
+	b += 8 + int64(len(s.Pending))*12
+	b += 4
+	for name := range s.AggValues {
+		b += int64(4+len(name)) + 8
+	}
+	b += 8 + int64(len(s.Aux))
+	return b
+}

@@ -1,0 +1,458 @@
+// Package engine is a from-scratch Pregel-style BSP graph-processing
+// engine — the stand-in for Apache Giraph in the paper's prototype
+// (§7). Vertices hold a float64 value, exchange float64 messages in
+// synchronous supersteps, and vote to halt; workers are goroutines
+// that own partitions of the vertex space and exchange messages
+// through per-worker staging buffers at superstep barriers. The engine
+// supports combiners, aggregators, per-program auxiliary state, and
+// whole-computation checkpoints that can be restored under a
+// *different* worker count/partitioning — the property Hourglass's
+// fast-reload recovery relies on.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"hourglass/internal/graph"
+)
+
+// Message is the unit exchanged between vertices. All bundled programs
+// encode their payloads (distances, ranks, colors, component ids) as
+// float64.
+type Message struct {
+	Dst graph.VertexID
+	Val float64
+}
+
+// Context is the per-superstep view a Program's Compute sees. It is
+// scoped to one worker and must not be retained across supersteps.
+type Context struct {
+	w         *worker
+	superstep int
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.superstep }
+
+// Graph returns the input graph.
+func (c *Context) Graph() *graph.Graph { return c.w.run.g }
+
+// Value returns vertex v's current value.
+func (c *Context) Value(v graph.VertexID) float64 { return c.w.run.values[v] }
+
+// SetValue updates the value of a vertex owned by this worker. Programs
+// must only set values of the vertex currently being computed.
+func (c *Context) SetValue(v graph.VertexID, x float64) { c.w.run.values[v] = x }
+
+// Send delivers a message to dst at the next superstep.
+func (c *Context) Send(dst graph.VertexID, val float64) {
+	r := c.w.run
+	w := r.owner[dst]
+	buf := &c.w.outbox[w]
+	*buf = append(*buf, Message{dst, val})
+	c.w.sent++
+	if int(w) != c.w.id {
+		c.w.remote++
+	}
+}
+
+// SendToNeighbors broadcasts val to all out-neighbours of v.
+func (c *Context) SendToNeighbors(v graph.VertexID, val float64) {
+	for _, u := range c.w.run.g.Neighbors(v) {
+		c.Send(u, val)
+	}
+}
+
+// VoteToHalt deactivates v; an incoming message reactivates it.
+func (c *Context) VoteToHalt(v graph.VertexID) { c.w.run.active[v] = false }
+
+// Aggregate contributes to a named aggregator; the reduced value is
+// visible through AggregatedValue in the *next* superstep.
+func (c *Context) Aggregate(name string, val float64) {
+	agg, ok := c.w.run.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))
+	}
+	cur, seen := c.w.aggLocal[name]
+	if !seen {
+		c.w.aggLocal[name] = val
+		return
+	}
+	c.w.aggLocal[name] = agg.reduce(cur, val)
+}
+
+// AggregatedValue returns the reduction of the previous superstep's
+// contributions (the aggregator's identity before any contribution).
+func (c *Context) AggregatedValue(name string) float64 {
+	agg, ok := c.w.run.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))
+	}
+	return agg.value
+}
+
+// Program is a vertex-centric computation.
+type Program interface {
+	// Name identifies the program in logs and checkpoints.
+	Name() string
+	// Init returns a vertex's initial value and whether it starts active.
+	Init(g *graph.Graph, v graph.VertexID) (value float64, active bool)
+	// Compute processes the messages delivered to v this superstep. It
+	// runs only for vertices that are active or have incoming messages.
+	Compute(ctx *Context, v graph.VertexID, msgs []float64)
+}
+
+// Combiner optionally merges messages addressed to the same vertex,
+// cutting memory and exchange volume (Pregel's combiner).
+type Combiner interface {
+	Combine(a, b float64) float64
+}
+
+// AggregatorSpec declares a named aggregator a program uses.
+type AggregatorSpec struct {
+	Name string
+	// Identity is the value seen when nothing was contributed.
+	Identity float64
+	// Reduce merges two contributions (must be commutative+associative).
+	Reduce func(a, b float64) float64
+}
+
+// Aggregators is implemented by programs that need aggregators.
+type Aggregators interface {
+	Aggregators() []AggregatorSpec
+}
+
+// AuxState is implemented by programs with per-vertex state beyond the
+// single float64 value; the engine includes it in checkpoints.
+type AuxState interface {
+	// InitAux sizes the auxiliary state for the graph.
+	InitAux(g *graph.Graph)
+	// MarshalAux / UnmarshalAux serialise the state for checkpoints.
+	MarshalAux() ([]byte, error)
+	UnmarshalAux([]byte) error
+}
+
+// Config controls an execution.
+type Config struct {
+	// Workers is the number of worker goroutines (≥1).
+	Workers int
+	// Assign maps vertex→worker; nil means hash partitioning.
+	Assign []int32
+	// MaxSupersteps aborts runaway programs (0 = 10_000).
+	MaxSupersteps int
+	// StopAfter pauses the run after this many additional supersteps,
+	// returning ErrPaused with a resumable snapshot (0 = run to
+	// completion). Used to emulate evictions mid-computation.
+	StopAfter int
+	// CollectStepStats records per-superstep activity into
+	// Result.StepStats (costs one pass of bookkeeping per step).
+	CollectStepStats bool
+}
+
+// ErrPaused is returned when Config.StopAfter interrupted the run; the
+// Result carries a Snapshot to resume from.
+var ErrPaused = errors.New("engine: paused before completion")
+
+// Stats summarise an execution. For resumed runs, Supersteps is the
+// absolute superstep counter while MessagesSent/ComputeCalls cover the
+// resumed portion only.
+type Stats struct {
+	Supersteps   int
+	MessagesSent int64
+	ComputeCalls int64
+	// RemoteMessages counts messages that crossed workers — the
+	// network traffic a real deployment would pay, and the quantity
+	// good partitionings minimise (§3.2).
+	RemoteMessages int64
+}
+
+// StepStats records one superstep's activity (Config.CollectStepStats).
+type StepStats struct {
+	Superstep int
+	Active    int64 // vertices computed
+	Messages  int64 // messages sent during the step
+}
+
+// Result of a run.
+type Result struct {
+	Values []float64
+	Stats  Stats
+	// StepStats is populated when Config.CollectStepStats is set.
+	StepStats []StepStats
+	// Snapshot is non-nil when the run was paused (ErrPaused).
+	Snapshot *Snapshot
+}
+
+type aggregator struct {
+	identity float64
+	reduce   func(a, b float64) float64
+	value    float64
+}
+
+// run is the shared state of one execution.
+type run struct {
+	g       *graph.Graph
+	prog    Program
+	values  []float64
+	active  []bool
+	inbox   [][]float64 // per vertex, messages for the current superstep
+	owner   []int32     // vertex -> worker
+	aggs    map[string]*aggregator
+	workers []*worker
+	comb    Combiner
+
+	superstep int
+	sent      int64
+	calls     int64
+	remote    int64
+
+	collectSteps bool
+	stepStats    []StepStats
+}
+
+type worker struct {
+	run      *run
+	id       int
+	vertices []graph.VertexID
+	outbox   [][]Message // per destination worker
+	aggLocal map[string]float64
+	sent     int64
+	calls    int64
+	remote   int64
+}
+
+// Run executes prog on g under cfg, starting from scratch.
+func Run(g *graph.Graph, prog Program, cfg Config) (Result, error) {
+	r, err := newRun(g, prog, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// Initialise vertex values and auxiliary state.
+	for v := 0; v < g.NumVertices(); v++ {
+		val, act := prog.Init(g, graph.VertexID(v))
+		r.values[v] = val
+		r.active[v] = act
+	}
+	if aux, ok := prog.(AuxState); ok {
+		aux.InitAux(g)
+	}
+	return r.loop(cfg.StopAfter, cfg.MaxSupersteps)
+}
+
+// Resume continues a paused or checkpointed execution. The config may
+// use a different worker count or partitioning than the one that
+// produced the snapshot — vertex state is location-independent.
+func Resume(g *graph.Graph, prog Program, snap *Snapshot, cfg Config) (Result, error) {
+	if snap == nil {
+		return Result{}, errors.New("engine: nil snapshot")
+	}
+	if snap.NumVertices != g.NumVertices() {
+		return Result{}, fmt.Errorf("engine: snapshot for %d vertices, graph has %d", snap.NumVertices, g.NumVertices())
+	}
+	if snap.Program != prog.Name() {
+		return Result{}, fmt.Errorf("engine: snapshot of %q cannot resume %q", snap.Program, prog.Name())
+	}
+	r, err := newRun(g, prog, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	copy(r.values, snap.Values)
+	copy(r.active, snap.Active)
+	for _, m := range snap.Pending {
+		r.inbox[m.Dst] = append(r.inbox[m.Dst], m.Val)
+	}
+	for name, v := range snap.AggValues {
+		if a, ok := r.aggs[name]; ok {
+			a.value = v
+		}
+	}
+	r.superstep = snap.Superstep
+	if aux, ok := prog.(AuxState); ok {
+		aux.InitAux(g)
+		if err := aux.UnmarshalAux(snap.Aux); err != nil {
+			return Result{}, fmt.Errorf("engine: aux restore: %w", err)
+		}
+	}
+	return r.loop(cfg.StopAfter, cfg.MaxSupersteps)
+}
+
+func newRun(g *graph.Graph, prog Program, cfg Config) (*run, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("engine: workers = %d", cfg.Workers)
+	}
+	n := g.NumVertices()
+	r := &run{
+		g:      g,
+		prog:   prog,
+		values: make([]float64, n),
+		active: make([]bool, n),
+		inbox:  make([][]float64, n),
+		owner:  make([]int32, n),
+		aggs:   map[string]*aggregator{},
+	}
+	if cfg.Assign != nil {
+		if len(cfg.Assign) != n {
+			return nil, fmt.Errorf("engine: assignment length %d for %d vertices", len(cfg.Assign), n)
+		}
+		copy(r.owner, cfg.Assign)
+		for v, w := range r.owner {
+			if w < 0 || int(w) >= cfg.Workers {
+				return nil, fmt.Errorf("engine: vertex %d assigned to worker %d of %d", v, w, cfg.Workers)
+			}
+		}
+	} else {
+		for v := range r.owner {
+			r.owner[v] = int32(v % cfg.Workers)
+		}
+	}
+	r.collectSteps = cfg.CollectStepStats
+	if c, ok := prog.(Combiner); ok {
+		r.comb = c
+	}
+	if a, ok := prog.(Aggregators); ok {
+		for _, spec := range a.Aggregators() {
+			r.aggs[spec.Name] = &aggregator{identity: spec.Identity, reduce: spec.Reduce, value: spec.Identity}
+		}
+	}
+	r.workers = make([]*worker, cfg.Workers)
+	for w := range r.workers {
+		r.workers[w] = &worker{
+			run:      r,
+			id:       w,
+			outbox:   make([][]Message, cfg.Workers),
+			aggLocal: map[string]float64{},
+		}
+	}
+	for v := 0; v < n; v++ {
+		w := r.workers[r.owner[v]]
+		w.vertices = append(w.vertices, graph.VertexID(v))
+	}
+	return r, nil
+}
+
+// loop drives supersteps until quiescence, pause, or the step limit.
+func (r *run) loop(stopAfter, maxSupersteps int) (Result, error) {
+	if maxSupersteps == 0 {
+		maxSupersteps = 10_000
+	}
+	steps := 0
+	for {
+		if !r.anyWork() {
+			return Result{Values: r.values, Stats: r.stats(), StepStats: r.stepStats}, nil
+		}
+		if r.superstep >= maxSupersteps {
+			return Result{}, fmt.Errorf("engine: %s exceeded %d supersteps", r.prog.Name(), maxSupersteps)
+		}
+		if stopAfter > 0 && steps >= stopAfter {
+			snap, err := r.snapshot()
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Values: r.values, Stats: r.stats(), StepStats: r.stepStats, Snapshot: snap}, ErrPaused
+		}
+		r.step()
+		steps++
+	}
+}
+
+// anyWork reports whether any vertex is active or has pending messages.
+func (r *run) anyWork() bool {
+	for v, act := range r.active {
+		if act || len(r.inbox[v]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// step executes one superstep: parallel compute, then message exchange
+// and aggregator reduction at the barrier.
+func (r *run) step() {
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			ctx := &Context{w: w, superstep: r.superstep}
+			for _, v := range w.vertices {
+				msgs := r.inbox[v]
+				if !r.active[v] && len(msgs) == 0 {
+					continue
+				}
+				r.active[v] = true // message receipt reactivates
+				r.prog.Compute(ctx, v, msgs)
+				w.calls++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Barrier: clear inboxes, deliver staged messages, fold aggregators.
+	for v := range r.inbox {
+		r.inbox[v] = r.inbox[v][:0]
+	}
+	var dg sync.WaitGroup
+	for dst := range r.workers {
+		dg.Add(1)
+		go func(dst int) {
+			defer dg.Done()
+			for _, src := range r.workers {
+				for _, m := range src.outbox[dst] {
+					box := r.inbox[m.Dst]
+					if r.comb != nil && len(box) == 1 {
+						box[0] = r.comb.Combine(box[0], m.Val)
+					} else {
+						r.inbox[m.Dst] = append(box, m.Val)
+					}
+				}
+			}
+		}(dst)
+	}
+	dg.Wait()
+	var stepSent, stepCalls int64
+	for _, w := range r.workers {
+		for dst := range w.outbox {
+			w.outbox[dst] = w.outbox[dst][:0]
+		}
+		stepSent += w.sent
+		stepCalls += w.calls
+		r.sent += w.sent
+		r.calls += w.calls
+		r.remote += w.remote
+		w.sent, w.calls, w.remote = 0, 0, 0
+	}
+	if r.collectSteps {
+		r.stepStats = append(r.stepStats, StepStats{
+			Superstep: r.superstep, Active: stepCalls, Messages: stepSent,
+		})
+	}
+	for name, agg := range r.aggs {
+		val := agg.identity
+		contributed := false
+		for _, w := range r.workers {
+			if c, ok := w.aggLocal[name]; ok {
+				if contributed {
+					val = agg.reduce(val, c)
+				} else {
+					val = c
+					contributed = true
+				}
+				delete(w.aggLocal, name)
+			}
+		}
+		agg.value = val
+	}
+	r.superstep++
+}
+
+func (r *run) stats() Stats {
+	return Stats{Supersteps: r.superstep, MessagesSent: r.sent,
+		ComputeCalls: r.calls, RemoteMessages: r.remote}
+}
+
+// FloatEqual is a helper for programs/tests comparing converged values.
+// Equal values (including infinities) always compare true.
+func FloatEqual(a, b, eps float64) bool { return a == b || math.Abs(a-b) <= eps }

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dataset describes one of the benchmark graphs of Table 2. The real
+// datasets (SNAP / network-repository downloads) are not available
+// offline, so each entry carries a deterministic synthetic generator
+// reproducing the dataset's *shape* — degree distribution and
+// community structure — at a configurable scale. PaperVertices and
+// PaperEdges record the original sizes for Table 2 reporting.
+type Dataset struct {
+	Name          string
+	Network       string // as in Table 2: Biological, Collaboration, ...
+	PaperVertices int64
+	PaperEdges    int64
+	// Generate builds the synthetic stand-in. scale in (0,1] shrinks
+	// the graph; scale 1 targets roughly 1/64 of the paper sizes so the
+	// whole suite runs on a laptop (documented in DESIGN.md).
+	Generate func(scale float64) *Graph
+}
+
+// clampN keeps a scaled vertex count sane.
+func clampN(n int) int {
+	if n < 64 {
+		return 64
+	}
+	return n
+}
+
+// datasets mirrors Table 2 of the paper.
+var datasets = []Dataset{
+	{
+		Name: "human-gene", Network: "Biological",
+		PaperVertices: 22283, PaperEdges: 12323680,
+		Generate: func(scale float64) *Graph {
+			n := clampN(int(4000 * scale))
+			return NearRegular(n, 160, 0xC0FFEE)
+		},
+	},
+	{
+		Name: "hollywood", Network: "Collaboration",
+		PaperVertices: 1069126, PaperEdges: 56306653,
+		Generate: func(scale float64) *Graph {
+			c := clampN(int(400*scale)) / 4
+			if c < 8 {
+				c = 8
+			}
+			return Community(CommunityParams{
+				Communities: c, SizeMean: 64,
+				IntraDegree: 24, InterFraction: 0.08, Seed: 0xAC7021,
+			})
+		},
+	},
+	{
+		Name: "orkut", Network: "Social",
+		PaperVertices: 3072626, PaperEdges: 117185083,
+		Generate: func(scale float64) *Graph {
+			n := clampN(int(48000 * scale))
+			return PreferentialAttachment(n, 18, 0x0BAD5EED)
+		},
+	},
+	{
+		Name: "wiki", Network: "Web Pages",
+		PaperVertices: 5115915, PaperEdges: 104591689,
+		Generate: func(scale float64) *Graph {
+			p := DefaultRMAT(16, 0x1717)
+			p.Scale = rmatScaleFor(int(80000 * scale))
+			p.EdgeFactor = 10
+			p.Undirected = true
+			return RMAT(p)
+		},
+	},
+	{
+		Name: "twitter", Network: "Social",
+		PaperVertices: 52579678, PaperEdges: 1614106187,
+		Generate: func(scale float64) *Graph {
+			p := DefaultRMAT(17, 0x7717)
+			p.Scale = rmatScaleFor(int(131072 * scale))
+			p.EdgeFactor = 16
+			p.Undirected = true
+			return RMAT(p)
+		},
+	},
+}
+
+// rmatScaleFor returns the RMAT scale whose 2^scale vertex count is
+// closest to (but at least 2^7) the requested n.
+func rmatScaleFor(n int) int {
+	s := 7
+	for (1 << (s + 1)) <= n {
+		s++
+	}
+	return s
+}
+
+// Datasets returns the Table 2 registry, in paper order, plus the
+// synthetic RMAT family accessed via RMATDataset.
+func Datasets() []Dataset {
+	out := make([]Dataset, len(datasets))
+	copy(out, datasets)
+	return out
+}
+
+// ByName fetches a Table 2 dataset by its lowercase name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// RMATDataset returns the synthetic RMAT-N entry of Table 2: 2^N
+// vertices and 2^(N+4) edges.
+func RMATDataset(n int) Dataset {
+	return Dataset{
+		Name: fmt.Sprintf("rmat-%d", n), Network: "Synthetic",
+		PaperVertices: 1 << n, PaperEdges: 1 << (n + 4),
+		Generate: func(scale float64) *Graph {
+			p := DefaultRMAT(n, int64(n)*31+7)
+			p.Undirected = true
+			// For RMAT the scale factor subtracts whole levels.
+			for scale < 0.75 && p.Scale > 8 {
+				p.Scale--
+				scale *= 2
+			}
+			return RMAT(p)
+		},
+	}
+}
+
+var (
+	cacheMu    sync.Mutex
+	graphCache = map[string]*Graph{}
+)
+
+// Load generates (and memoises) the synthetic stand-in for a dataset
+// at the given scale. Experiments that sweep over datasets share the
+// cached instance, which is safe because graphs are immutable.
+func Load(d Dataset, scale float64) *Graph {
+	key := fmt.Sprintf("%s@%g", d.Name, scale)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	g := d.Generate(scale)
+	graphCache[key] = g
+	return g
+}
+
+// Stats summarises a graph for Table 2 style reporting.
+type Stats struct {
+	Name      string
+	Network   string
+	Vertices  int
+	Edges     int64
+	AvgDegree float64
+	MaxDegree int
+}
+
+// ComputeStats builds the Table 2 row for a generated dataset.
+func ComputeStats(d Dataset, g *Graph) Stats {
+	return Stats{
+		Name:      d.Name,
+		Network:   d.Network,
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumLogicalEdges(),
+		AvgDegree: g.AvgDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+}
+
+// SortedNames returns dataset names sorted alphabetically (for stable
+// CLI output).
+func SortedNames() []string {
+	names := make([]string, 0, len(datasets))
+	for _, d := range datasets {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,215 @@
+// Package loader models the three graph-loading strategies compared in
+// Figure 6 of the paper on top of the simnet flow simulator:
+//
+//   - Stream loader: the master node fetches the whole dataset through a
+//     single datastore connection (stream-based partitioners need a
+//     centralised pass, §6.1).
+//   - Hash loader: every worker fetches an arbitrary file chunk in
+//     parallel, parses it, then shuffles each vertex to its owner —
+//     paying an all-to-all exchange of parsed entities.
+//   - Micro loader: every worker fetches exactly its own
+//     micro-partitions in parallel; no shuffle at all (the fast-reload
+//     path, §6.2 "parallel recovery").
+package loader
+
+import (
+	"fmt"
+
+	"hourglass/internal/graph"
+	"hourglass/internal/simnet"
+	"hourglass/internal/units"
+)
+
+// Model carries the byte-level cost parameters of loading.
+type Model struct {
+	// Net configures the simulated cluster and datastore.
+	Net simnet.Config
+	// VertexBytes and EdgeBytes are the on-disk encoding sizes.
+	VertexBytes, EdgeBytes int64
+	// EntityExpansion is the in-memory entity size relative to disk
+	// bytes; the hash loader shuffles *parsed entities* (§6.1: machines
+	// "read and parse the data into in-memory entities ... that are
+	// then forwarded over the network").
+	EntityExpansion float64
+	// ParseRate is per-node parse throughput in disk bytes/second.
+	ParseRate float64
+	// RPCRate caps per-node shuffle throughput (serialisation-bound
+	// entity RPC, the reason hash loading is far slower than raw NIC
+	// speed in Giraph-like systems).
+	RPCRate float64
+}
+
+// DefaultModel matches the calibration constants in DESIGN.md: 16-byte
+// on-disk edges, 4× entity expansion, 200 MB/s parse, 60 MB/s entity RPC.
+func DefaultModel() Model {
+	return Model{
+		Net:             simnet.DefaultConfig(),
+		VertexBytes:     8,
+		EdgeBytes:       16,
+		EntityExpansion: 4,
+		ParseRate:       200e6,
+		RPCRate:         60e6,
+	}
+}
+
+// Result decomposes a loading run.
+type Result struct {
+	Fetch, Parse, Shuffle units.Seconds
+}
+
+// Total is the end-to-end loading time (phases are sequential).
+func (r Result) Total() units.Seconds { return r.Fetch + r.Parse + r.Shuffle }
+
+// DiskBytes returns the on-disk size of the dataset under the model.
+func (m Model) DiskBytes(g *graph.Graph) int64 {
+	return m.VertexBytes*int64(g.NumVertices()) + m.EdgeBytes*g.NumEdges()
+}
+
+// vertexDiskBytes is the on-disk footprint of vertex v with its edges.
+func (m Model) vertexDiskBytes(g *graph.Graph, v graph.VertexID) int64 {
+	return m.VertexBytes + m.EdgeBytes*int64(g.Degree(v))
+}
+
+// blockBytes sums on-disk bytes per block of the assignment.
+func (m Model) blockBytes(g *graph.Graph, assign []int32, k int) []int64 {
+	out := make([]int64, k)
+	for v := 0; v < g.NumVertices(); v++ {
+		out[assign[v]] += m.vertexDiskBytes(g, graph.VertexID(v))
+	}
+	return out
+}
+
+// Stream simulates the stream loader: one flow datastore→master with
+// the entire dataset, then a single-node parse. As in the paper we
+// ignore the streaming partitioner's own compute time.
+func (m Model) Stream(g *graph.Graph, k int) (Result, error) {
+	c, err := simnet.NewCluster(k, m.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	total := m.DiskBytes(g)
+	fetch := c.SimulateFlows([]simnet.Flow{{Src: simnet.DatastoreNode, Dst: 0, Bytes: total}})
+	parse := units.Seconds(float64(total) / m.ParseRate)
+	return Result{Fetch: fetch, Parse: parse}, nil
+}
+
+// Hash simulates the hash loader: each worker fetches a contiguous
+// 1/k chunk of the file (many block-sized connections, so the fetch
+// parallelises), parses it, then shuffles every vertex whose owner
+// under `assign` is a different worker. Entity bytes = disk bytes ×
+// EntityExpansion; per-node shuffle throughput is additionally capped
+// by RPCRate.
+func (m Model) Hash(g *graph.Graph, assign []int32, k int) (Result, error) {
+	if len(assign) != g.NumVertices() {
+		return Result{}, fmt.Errorf("loader: assignment length %d for %d vertices", len(assign), g.NumVertices())
+	}
+	c, err := simnet.NewCluster(k, m.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	n := g.NumVertices()
+	per := (n + k - 1) / k
+	chunkOf := func(v int) int {
+		b := v / per
+		if b >= k {
+			b = k - 1
+		}
+		return b
+	}
+	// Phase 1: parallel chunk fetch.
+	chunkBytes := make([]int64, k)
+	for v := 0; v < n; v++ {
+		chunkBytes[chunkOf(v)] += m.vertexDiskBytes(g, graph.VertexID(v))
+	}
+	fetchFlows := make([]simnet.Flow, 0, k)
+	maxChunk := int64(0)
+	for i, b := range chunkBytes {
+		fetchFlows = append(fetchFlows, blockFetchFlows(i, b)...)
+		if b > maxChunk {
+			maxChunk = b
+		}
+	}
+	fetch := c.SimulateFlows(fetchFlows)
+	parse := units.Seconds(float64(maxChunk) / m.ParseRate)
+
+	// Phase 2: all-to-all entity shuffle, rate-limited by RPC.
+	shuffleNet := m.Net
+	if m.RPCRate < shuffleNet.NICBandwidth {
+		shuffleNet.NICBandwidth = m.RPCRate
+	}
+	sc, err := simnet.NewCluster(k, shuffleNet)
+	if err != nil {
+		return Result{}, err
+	}
+	matrix := make([][]int64, k)
+	for i := range matrix {
+		matrix[i] = make([]int64, k)
+	}
+	for v := 0; v < n; v++ {
+		src, dst := chunkOf(v), int(assign[v])
+		if src != dst {
+			entity := int64(float64(m.vertexDiskBytes(g, graph.VertexID(v))) * m.EntityExpansion)
+			matrix[src][dst] += entity
+		}
+	}
+	var shuffleFlows []simnet.Flow
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if matrix[i][j] > 0 {
+				shuffleFlows = append(shuffleFlows, simnet.Flow{Src: i, Dst: j, Bytes: matrix[i][j]})
+			}
+		}
+	}
+	shuffle := sc.SimulateFlows(shuffleFlows)
+	return Result{Fetch: fetch, Parse: parse, Shuffle: shuffle}, nil
+}
+
+// Micro simulates the fast-reload loader: worker b fetches exactly the
+// bytes of its macro-partition (one connection per micro-partition
+// blob, so per-node throughput is bounded by the NIC / aggregate store
+// bandwidth, not the per-connection cap), parses in parallel, and
+// never shuffles.
+func (m Model) Micro(g *graph.Graph, assign []int32, k int) (Result, error) {
+	if len(assign) != g.NumVertices() {
+		return Result{}, fmt.Errorf("loader: assignment length %d for %d vertices", len(assign), g.NumVertices())
+	}
+	c, err := simnet.NewCluster(k, m.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	blocks := m.blockBytes(g, assign, k)
+	var flows []simnet.Flow
+	maxBlock := int64(0)
+	for b, bytes := range blocks {
+		flows = append(flows, blockFetchFlows(b, bytes)...)
+		if bytes > maxBlock {
+			maxBlock = bytes
+		}
+	}
+	fetch := c.SimulateFlows(flows)
+	parse := units.Seconds(float64(maxBlock) / m.ParseRate)
+	return Result{Fetch: fetch, Parse: parse}, nil
+}
+
+// blockFetchFlows splits a node's fetch into parallel connections so a
+// single datastore connection's cap does not throttle a whole node.
+// Eight connections per node is enough to saturate a 10 Gb NIC against
+// a 250 MB/s per-connection store.
+func blockFetchFlows(node int, bytes int64) []simnet.Flow {
+	const conns = 8
+	if bytes == 0 {
+		return nil
+	}
+	per := bytes / conns
+	flows := make([]simnet.Flow, 0, conns)
+	rem := bytes
+	for i := 0; i < conns && rem > 0; i++ {
+		b := per
+		if i == conns-1 || b == 0 {
+			b = rem
+		}
+		flows = append(flows, simnet.Flow{Src: simnet.DatastoreNode, Dst: node, Bytes: b})
+		rem -= b
+	}
+	return flows
+}

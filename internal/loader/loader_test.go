@@ -1,0 +1,164 @@
+package loader
+
+import (
+	"testing"
+
+	"hourglass/internal/graph"
+	"hourglass/internal/micro"
+	"hourglass/internal/partition"
+)
+
+func testGraph() *graph.Graph {
+	p := graph.DefaultRMAT(12, 33)
+	p.Undirected = true
+	return graph.RMAT(p)
+}
+
+func TestDiskBytes(t *testing.T) {
+	m := DefaultModel()
+	g := graph.Path(3) // 3 vertices, 4 arcs
+	want := 3*m.VertexBytes + 4*m.EdgeBytes
+	if got := m.DiskBytes(g); got != want {
+		t.Errorf("DiskBytes = %d, want %d", got, want)
+	}
+}
+
+func TestStreamLoaderScalesWithBytesNotMachines(t *testing.T) {
+	m := DefaultModel()
+	g := testGraph()
+	r2, err := m.Stream(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := m.Stream(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream loader is single-node: machine count must not help.
+	if r16.Total() < r2.Total()*0.99 {
+		t.Errorf("stream loader sped up with machines: %v vs %v", r16.Total(), r2.Total())
+	}
+}
+
+func TestMicroFasterThanHashFasterThanStream(t *testing.T) {
+	m := DefaultModel()
+	m.Net.Latency = 0.001 // keep the small test graph bandwidth-bound
+	// A uniform graph: datasets on disk are not degree-sorted, so the
+	// hash loader's chunks are byte-balanced (RMAT's id-degree
+	// correlation would make chunk 0 a shuffle hotspot).
+	g := graph.ErdosRenyi(1<<15, 1<<20, 33, true)
+	k := 16
+	assign := partition.Multilevel{Seed: 1}.Partition(g, k).Assign
+
+	stream, err := m.Stream(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := m.Hash(g, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mic, err := m.Micro(g, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mic.Total() < hash.Total() && hash.Total() < stream.Total()) {
+		t.Errorf("expected micro < hash < stream, got micro=%v hash=%v stream=%v",
+			mic.Total(), hash.Total(), stream.Total())
+	}
+	// Figure 6 shape: micro is many × faster than stream at k=8.
+	if ratio := float64(stream.Total()) / float64(mic.Total()); ratio < 4 {
+		t.Errorf("stream/micro ratio = %.1f, want ≥ 4", ratio)
+	}
+}
+
+func TestMicroSpeedsUpWithMachines(t *testing.T) {
+	m := DefaultModel()
+	g := testGraph()
+	prev := -1.0
+	for _, k := range []int{2, 4, 8, 16} {
+		assign := partition.Chunked{}.Partition(g, k).Assign
+		r, err := m.Micro(g, assign, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := float64(r.Total())
+		if prev > 0 && total > prev*1.05 {
+			t.Errorf("micro loader slowed down at k=%d: %v > %v", k, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestHashShuffleGrowsWithCut(t *testing.T) {
+	m := DefaultModel()
+	g := testGraph()
+	k := 4
+	// Chunked assignment == chunk ownership → zero shuffle.
+	aligned := partition.Chunked{}.Partition(g, k).Assign
+	r0, err := m.Hash(g, aligned, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Shuffle != 0 {
+		t.Errorf("aligned hash shuffle = %v, want 0", r0.Shuffle)
+	}
+	// Hash assignment scatters vertices → heavy shuffle.
+	scattered := partition.Hash{}.Partition(g, k).Assign
+	r1, err := m.Hash(g, scattered, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Shuffle <= r0.Shuffle {
+		t.Errorf("scattered shuffle %v not larger than aligned %v", r1.Shuffle, r0.Shuffle)
+	}
+}
+
+func TestLoadersRejectBadAssignment(t *testing.T) {
+	m := DefaultModel()
+	g := graph.Path(4)
+	if _, err := m.Hash(g, []int32{0}, 2); err == nil {
+		t.Error("hash accepted short assignment")
+	}
+	if _, err := m.Micro(g, []int32{0}, 2); err == nil {
+		t.Error("micro accepted short assignment")
+	}
+}
+
+func TestMicroWithMicroPartitioning(t *testing.T) {
+	// End-to-end with the fast-reload machinery: micro partitions
+	// clustered to k then loaded.
+	m := DefaultModel()
+	g := testGraph()
+	mp, err := micro.BuildForConfigs(g, partition.Multilevel{Seed: 2}, []int{4, 8, 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{4, 8, 16} {
+		va, err := mp.VertexAssignment(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Micro(g, va.Assign, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Total() <= 0 {
+			t.Errorf("k=%d: non-positive load time", k)
+		}
+	}
+}
+
+func TestBlockFetchFlowsConservesBytes(t *testing.T) {
+	flows := blockFetchFlows(0, 1000)
+	var sum int64
+	for _, f := range flows {
+		sum += f.Bytes
+	}
+	if sum != 1000 {
+		t.Errorf("fetch flows carry %d bytes, want 1000", sum)
+	}
+	if blockFetchFlows(0, 0) != nil {
+		t.Error("zero-byte block should produce no flows")
+	}
+}

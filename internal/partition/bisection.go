@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"hourglass/internal/graph"
+)
+
+// RecursiveBisection partitions by repeatedly splitting the (sub)graph
+// in two with the multilevel partitioner — METIS's original
+// formulation, used here as an ablation against the direct k-way
+// approach. Non-power-of-two k splits unevenly (⌈k/2⌉ vs ⌊k/2⌋ with
+// proportional weight targets approximated by vertex counts).
+type RecursiveBisection struct {
+	Seed int64
+}
+
+// Name implements Partitioner.
+func (r RecursiveBisection) Name() string { return "bisection" }
+
+// Partition implements Partitioner.
+func (r RecursiveBisection) Partition(g *graph.Graph, k int) Partitioning {
+	return r.PartitionWeighted(g, nil, k)
+}
+
+// PartitionWeighted implements WeightedPartitioner.
+func (r RecursiveBisection) PartitionWeighted(g *graph.Graph, vw []int64, k int) Partitioning {
+	n := g.NumVertices()
+	assign := make([]int32, n)
+	if k <= 1 || n == 0 {
+		return Partitioning{Assign: assign, K: maxInt(k, 1)}
+	}
+	vertices := make([]graph.VertexID, n)
+	for i := range vertices {
+		vertices[i] = graph.VertexID(i)
+	}
+	r.split(g, vw, vertices, 0, k, assign, r.Seed)
+	return Partitioning{Assign: assign, K: k}
+}
+
+// split assigns blocks [base, base+k) to the given vertex subset.
+func (r RecursiveBisection) split(g *graph.Graph, vw []int64, vertices []graph.VertexID,
+	base int32, k int, assign []int32, seed int64) {
+	if k == 1 {
+		for _, v := range vertices {
+			assign[v] = base
+		}
+		return
+	}
+	leftK := (k + 1) / 2
+	rightK := k - leftK
+
+	// Build the induced subgraph over `vertices`.
+	sub, _ := g.Induced(vertices)
+	subVW := make([]int64, len(vertices))
+	for i, v := range vertices {
+		if vw != nil {
+			subVW[i] = vw[v]
+		} else {
+			subVW[i] = 1
+		}
+	}
+	// Bisect with target proportions leftK:rightK. The multilevel
+	// partitioner balances 50/50; for uneven splits we emulate the
+	// proportion by duplicating the right side's weight.
+	ml := Multilevel{Seed: seed}
+	var half Partitioning
+	if leftK == rightK {
+		half = ml.PartitionWeighted(sub, subVW, 2)
+	} else {
+		// Scale weights so a balanced 2-way cut approximates the
+		// leftK:rightK proportion: weight each vertex by 1, then the
+		// imbalance tolerance absorbs the ±1 block difference. For the
+		// k=3-style splits this is a standard approximation.
+		half = Multilevel{Seed: seed, MaxImbalance: 1.0 + float64(leftK-rightK)/float64(k) + 0.05}.
+			PartitionWeighted(sub, subVW, 2)
+	}
+	var left, right []graph.VertexID
+	for i, v := range vertices {
+		if half.Assign[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	// Keep the larger side with the larger k.
+	if leftK != rightK && len(left) < len(right) {
+		left, right = right, left
+	}
+	r.split(g, vw, left, base, leftK, assign, seed*2+1)
+	r.split(g, vw, right, base+int32(leftK), rightK, assign, seed*2+2)
+}

@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"testing"
+
+	"hourglass/internal/graph"
+)
+
+func TestRecursiveBisectionValid(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(10, 9))
+	for _, k := range []int{1, 2, 3, 4, 7, 8} {
+		p := RecursiveBisection{Seed: 1}.Partition(g, k)
+		if err := p.Validate(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		sizes := p.BlockSizes()
+		var total int64
+		for _, s := range sizes {
+			total += s
+		}
+		if total != int64(g.NumVertices()) {
+			t.Errorf("k=%d: sizes sum %d", k, total)
+		}
+	}
+}
+
+func TestRecursiveBisectionQualityOnGrid(t *testing.T) {
+	g := graph.Grid(24, 24)
+	p := RecursiveBisection{Seed: 2}.Partition(g, 4)
+	cut := EdgeCutFraction(g, p.Assign)
+	if cut > 0.3 {
+		t.Errorf("grid cut = %.3f, want < 0.3", cut)
+	}
+	if im := Imbalance(p.Assign, 4, nil); im > 1.35 {
+		t.Errorf("imbalance = %.2f", im)
+	}
+}
+
+func TestRecursiveBisectionComparableToKWay(t *testing.T) {
+	g := graph.Community(graph.CommunityParams{
+		Communities: 8, SizeMean: 64, IntraDegree: 16, InterFraction: 0.05, Seed: 4,
+	})
+	rb := RecursiveBisection{Seed: 1}.Partition(g, 8)
+	kw := Multilevel{Seed: 1}.Partition(g, 8)
+	rbCut := EdgeCutFraction(g, rb.Assign)
+	kwCut := EdgeCutFraction(g, kw.Assign)
+	// Both should be far below random; allow RB to be somewhat worse.
+	if rbCut >= RandomCutExpectation(8) {
+		t.Errorf("bisection cut %.3f not better than random", rbCut)
+	}
+	if rbCut > kwCut*2+0.1 {
+		t.Errorf("bisection cut %.3f much worse than k-way %.3f", rbCut, kwCut)
+	}
+}
+
+func TestRecursiveBisectionWeighted(t *testing.T) {
+	g := graph.Ring(12)
+	vw := make([]int64, 12)
+	for i := range vw {
+		vw[i] = 1
+	}
+	vw[0] = 6 // heavy vertex
+	p := RecursiveBisection{Seed: 3}.PartitionWeighted(g, vw, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := Imbalance(p.Assign, 2, vw); im > 1.6 {
+		t.Errorf("weighted imbalance = %.2f", im)
+	}
+}

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"hourglass/internal/graph"
+)
+
+// Hash is the Pregel-style hash partitioner (reference [27] in the
+// paper): vertex v goes to block hash(v) mod k. There is no
+// partitioning phase at all — the assignment is implicit in the hash
+// function — which is why short jobs favour it (§8.3.1).
+type Hash struct{}
+
+// Name implements Partitioner.
+func (Hash) Name() string { return "hash" }
+
+// hashVertex mixes the vertex id so that consecutive ids spread across
+// blocks (plain modulo would put contiguous ranges together, which is
+// accidentally *good* for meshes and unrepresentative of hashing).
+func hashVertex(v graph.VertexID) uint32 {
+	x := uint32(v)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// Partition implements Partitioner.
+func (Hash) Partition(g *graph.Graph, k int) Partitioning {
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = int32(hashVertex(graph.VertexID(v)) % uint32(k))
+	}
+	return Partitioning{Assign: assign, K: k}
+}
+
+// Chunked assigns contiguous vertex ranges to blocks (file-block
+// ownership, §7: "assigning chunks of the graph dataset to workers
+// that load them and become owners of all the vertices in the assigned
+// file blocks"). It is the micro-partition generator used with hashing.
+type Chunked struct{}
+
+// Name implements Partitioner.
+func (Chunked) Name() string { return "chunked" }
+
+// Partition implements Partitioner.
+func (Chunked) Partition(g *graph.Graph, k int) Partitioning {
+	n := g.NumVertices()
+	assign := make([]int32, n)
+	if n == 0 {
+		return Partitioning{Assign: assign, K: k}
+	}
+	per := (n + k - 1) / k
+	for v := 0; v < n; v++ {
+		b := v / per
+		if b >= k {
+			b = k - 1
+		}
+		assign[v] = int32(b)
+	}
+	return Partitioning{Assign: assign, K: k}
+}

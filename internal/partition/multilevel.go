@@ -1,0 +1,484 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hourglass/internal/graph"
+)
+
+// Multilevel is a METIS-style multilevel k-way partitioner (Karypis &
+// Kumar, reference [20] in the paper): the graph is coarsened by
+// heavy-edge matching, the coarsest graph is partitioned by greedy
+// region growing, and the partitioning is projected back through the
+// levels with boundary Kernighan–Lin refinement at each. It supports
+// vertex and edge weights, which is what lets Hourglass reuse it to
+// cluster micro-partitions (quotient-graph vertices are weighted by
+// member count, edges by crossing multiplicity).
+type Multilevel struct {
+	// Seed drives matching and seed-selection order. Fixed seed ⇒
+	// deterministic partitioning.
+	Seed int64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices (0 = max(32·k, 128)).
+	CoarsenTo int
+	// MaxImbalance is the allowed max/mean block weight ratio
+	// (0 = 1.05, METIS's default 5% slack).
+	MaxImbalance float64
+	// RefinePasses bounds KL passes per level (0 = 8).
+	RefinePasses int
+}
+
+// Name implements Partitioner.
+func (m Multilevel) Name() string { return "multilevel" }
+
+// Partition implements Partitioner.
+func (m Multilevel) Partition(g *graph.Graph, k int) Partitioning {
+	return m.PartitionWeighted(g, nil, k)
+}
+
+// PartitionWeighted implements WeightedPartitioner.
+func (m Multilevel) PartitionWeighted(g *graph.Graph, vw []int64, k int) Partitioning {
+	n := g.NumVertices()
+	if k <= 1 || n == 0 {
+		return Partitioning{Assign: make([]int32, n), K: maxInt(k, 1)}
+	}
+	wg := newWGraph(g, vw)
+	coarsenTo := m.CoarsenTo
+	if coarsenTo == 0 {
+		coarsenTo = maxInt(32*k, 128)
+	}
+	imbalance := m.MaxImbalance
+	if imbalance == 0 {
+		imbalance = 1.05
+	}
+	passes := m.RefinePasses
+	if passes == 0 {
+		passes = 8
+	}
+	rng := rand.New(rand.NewSource(m.Seed + int64(k)*1_000_003))
+
+	// Coarsening phase: stack of levels with their projection maps.
+	type level struct {
+		g    *wgraph
+		proj []int32 // fine vertex -> coarse vertex (for the *next* level)
+	}
+	levels := []level{{g: wg}}
+	cur := wg
+	for cur.n > coarsenTo {
+		match := cur.heavyEdgeMatch(rng)
+		coarse, cmap := cur.contract(match)
+		if coarse.n >= int(0.95*float64(cur.n)) {
+			break // matching stalled (e.g. star graph); stop coarsening
+		}
+		levels[len(levels)-1].proj = cmap
+		levels = append(levels, level{g: coarse})
+		cur = coarse
+	}
+
+	// Initial partitioning on the coarsest graph.
+	coarsest := levels[len(levels)-1].g
+	assign := coarsest.greedyGrow(k, rng)
+	coarsest.refine(assign, k, imbalance, passes)
+
+	// Uncoarsening: project and refine at each finer level.
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li].g
+		cmap := levels[li].proj
+		fineAssign := make([]int32, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineAssign[v] = assign[cmap[v]]
+		}
+		fine.refine(fineAssign, k, imbalance, passes)
+		assign = fineAssign
+	}
+	return Partitioning{Assign: assign, K: k}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// wedge is a weighted arc in the working graph.
+type wedge struct {
+	to graph.VertexID
+	w  float64
+}
+
+// wgraph is the symmetric weighted working representation used during
+// coarsening/refinement.
+type wgraph struct {
+	n   int
+	adj [][]wedge
+	vw  []int64
+}
+
+// newWGraph symmetrises g (partitioning is an undirected problem) and
+// collapses parallel arcs, attaching vertex weights (default 1).
+func newWGraph(g *graph.Graph, vw []int64) *wgraph {
+	n := g.NumVertices()
+	w := &wgraph{n: n, adj: make([][]wedge, n), vw: make([]int64, n)}
+	if vw != nil {
+		copy(w.vw, vw)
+	} else {
+		for i := range w.vw {
+			w.vw[i] = 1
+		}
+	}
+	// Accumulate symmetric weights through a per-vertex map pass.
+	acc := make([]map[graph.VertexID]float64, n)
+	add := func(a, b graph.VertexID, wt float64) {
+		if acc[a] == nil {
+			acc[a] = make(map[graph.VertexID]float64)
+		}
+		acc[a][b] += wt
+	}
+	g.ForEachEdge(func(s, d graph.VertexID, wt float32) {
+		if s == d {
+			return
+		}
+		add(s, d, float64(wt))
+		if !g.Undirected() {
+			add(d, s, float64(wt))
+		}
+	})
+	for v := 0; v < n; v++ {
+		w.adj[v] = sortedWedges(acc[v])
+	}
+	return w
+}
+
+// sortedWedges converts an accumulator map to a slice sorted by target
+// id, keeping every later step deterministic (map iteration order is
+// random in Go).
+func sortedWedges(acc map[graph.VertexID]float64) []wedge {
+	if len(acc) == 0 {
+		return nil
+	}
+	out := make([]wedge, 0, len(acc))
+	for u, wt := range acc {
+		out = append(out, wedge{u, wt})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].to < out[j].to })
+	return out
+}
+
+// heavyEdgeMatch computes a maximal matching preferring heavy edges,
+// visiting vertices in random order. match[v] == v means unmatched.
+func (w *wgraph) heavyEdgeMatch(rng *rand.Rand) []int32 {
+	match := make([]int32, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(w.n)
+	for _, vi := range order {
+		v := graph.VertexID(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		best := graph.VertexID(-1)
+		bestW := -1.0
+		for _, e := range w.adj[v] {
+			if match[e.to] < 0 && e.to != v && e.w > bestW {
+				best, bestW = e.to, e.w
+			}
+		}
+		if best >= 0 {
+			match[v] = int32(best)
+			match[best] = int32(v)
+		} else {
+			match[v] = int32(v)
+		}
+	}
+	return match
+}
+
+// contract merges matched pairs into coarse vertices, summing vertex
+// and edge weights. Returns the coarse graph and the fine→coarse map.
+func (w *wgraph) contract(match []int32) (*wgraph, []int32) {
+	cmap := make([]int32, w.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < w.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = next
+		if m := match[v]; m >= 0 && int(m) != v {
+			cmap[m] = next
+		}
+		next++
+	}
+	coarse := &wgraph{n: int(next), adj: make([][]wedge, next), vw: make([]int64, next)}
+	for v := 0; v < w.n; v++ {
+		coarse.vw[cmap[v]] += w.vw[v]
+	}
+	acc := make([]map[graph.VertexID]float64, next)
+	for v := 0; v < w.n; v++ {
+		cv := cmap[v]
+		for _, e := range w.adj[v] {
+			cu := cmap[e.to]
+			if cu == cv {
+				continue
+			}
+			if acc[cv] == nil {
+				acc[cv] = make(map[graph.VertexID]float64)
+			}
+			acc[cv][graph.VertexID(cu)] += e.w
+		}
+	}
+	for v := int32(0); v < next; v++ {
+		coarse.adj[v] = sortedWedges(acc[v])
+	}
+	return coarse, cmap
+}
+
+// greedyGrow produces an initial k-way assignment by growing regions
+// from random seeds: repeatedly pick the unassigned vertex most
+// connected to the lightest still-open block.
+func (w *wgraph) greedyGrow(k int, rng *rand.Rand) []int32 {
+	assign := make([]int32, w.n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var total int64
+	for _, vw := range w.vw {
+		total += vw
+	}
+	target := float64(total) / float64(k)
+	weights := make([]int64, k)
+
+	order := rng.Perm(w.n)
+	oi := 0
+	nextSeed := func() graph.VertexID {
+		for oi < len(order) {
+			v := order[oi]
+			oi++
+			if assign[v] < 0 {
+				return graph.VertexID(v)
+			}
+		}
+		return -1
+	}
+
+	for b := 0; b < k; b++ {
+		seed := nextSeed()
+		if seed < 0 {
+			break
+		}
+		// BFS-like frontier growth by connection weight.
+		assign[seed] = int32(b)
+		weights[b] += w.vw[seed]
+		frontier := map[graph.VertexID]float64{}
+		addFrontier := func(v graph.VertexID) {
+			for _, e := range w.adj[v] {
+				if assign[e.to] < 0 {
+					frontier[e.to] += e.w
+				}
+			}
+		}
+		addFrontier(seed)
+		for float64(weights[b]) < target && len(frontier) > 0 {
+			var best graph.VertexID = -1
+			bestW := -1.0
+			for v, wt := range frontier {
+				if assign[v] >= 0 {
+					delete(frontier, v)
+					continue
+				}
+				// Deterministic tie-break on vertex id: map iteration
+				// order is random.
+				if wt > bestW || (wt == bestW && (best < 0 || v < best)) {
+					best, bestW = v, wt
+				}
+			}
+			if best < 0 {
+				break
+			}
+			delete(frontier, best)
+			assign[best] = int32(b)
+			weights[b] += w.vw[best]
+			addFrontier(best)
+		}
+	}
+	// Any leftovers: prefer the lightest *under-target* neighbouring
+	// block; otherwise fall back to the globally lightest block, so an
+	// already-full region never keeps accreting.
+	for v := 0; v < w.n; v++ {
+		if assign[v] >= 0 {
+			continue
+		}
+		best := -1
+		var bestLoad int64 = math.MaxInt64
+		for _, e := range w.adj[v] {
+			b := assign[e.to]
+			if b >= 0 && float64(weights[b]) < target && weights[b] < bestLoad {
+				best, bestLoad = int(b), weights[b]
+			}
+		}
+		if best < 0 {
+			for b := 0; b < k; b++ {
+				if weights[b] < bestLoad {
+					best, bestLoad = b, weights[b]
+				}
+			}
+		}
+		assign[v] = int32(best)
+		weights[best] += w.vw[v]
+	}
+	return assign
+}
+
+// refine runs greedy boundary Kernighan–Lin passes: move boundary
+// vertices to the neighbouring block with the best gain, while keeping
+// every block under maxImbalance × mean weight. Stops after `passes`
+// or when a pass makes no move.
+func (w *wgraph) refine(assign []int32, k int, maxImbalance float64, passes int) {
+	var total int64
+	weights := make([]int64, k)
+	for v := 0; v < w.n; v++ {
+		weights[assign[v]] += w.vw[v]
+		total += w.vw[v]
+	}
+	maxW := int64(math.Ceil(maxImbalance * float64(total) / float64(k)))
+	conn := make([]float64, k) // scratch: connection of v to each block
+
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := 0; v < w.n; v++ {
+			if len(w.adj[v]) == 0 {
+				continue
+			}
+			home := assign[v]
+			// Compute connection weights to adjacent blocks.
+			touched := touchedBlocks(w.adj[v], assign, conn)
+			internal := conn[home]
+			bestBlock, bestGain := home, 0.0
+			for _, b := range touched {
+				if b == home {
+					continue
+				}
+				if weights[b]+w.vw[v] > maxW {
+					continue
+				}
+				gain := conn[b] - internal
+				if gain > bestGain ||
+					(gain == bestGain && gain > 0 && weights[b] < weights[bestBlock]) {
+					bestBlock, bestGain = b, gain
+				}
+			}
+			// Also allow zero-gain moves that strictly improve balance:
+			// they unlock further gains in later passes.
+			if bestBlock == home {
+				for _, b := range touched {
+					if b == home {
+						continue
+					}
+					if conn[b] == internal && weights[b]+w.vw[v] < weights[home] {
+						bestBlock = b
+						break
+					}
+				}
+			}
+			if bestBlock != home {
+				weights[home] -= w.vw[v]
+				weights[bestBlock] += w.vw[v]
+				assign[v] = bestBlock
+				moved++
+			}
+			// Reset scratch.
+			for _, b := range touched {
+				conn[b] = 0
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	w.rebalance(assign, k, weights, maxW, conn)
+}
+
+// rebalance forcibly sheds weight from blocks above maxW: every vertex
+// of an overweight block is moved to the eligible block it is most
+// connected to (falling back to the globally lightest block), even when
+// the move costs cut quality. Called after the gain-driven passes so
+// that the balance guarantee holds regardless of the initial
+// partitioning. The pass repeats while progress is made.
+func (w *wgraph) rebalance(assign []int32, k int, weights []int64, maxW int64, conn []float64) {
+	for iter := 0; iter < 2*k+4; iter++ {
+		over := int32(-1)
+		for b := 0; b < k; b++ {
+			if weights[b] > maxW {
+				over = int32(b)
+				break
+			}
+		}
+		if over < 0 {
+			return
+		}
+		moved := false
+		for v := 0; v < w.n && weights[over] > maxW; v++ {
+			if assign[v] != over {
+				continue
+			}
+			touched := touchedBlocks(w.adj[v], assign, conn)
+			best, bestConn := int32(-1), -1.0
+			for _, b := range touched {
+				if b == over {
+					continue
+				}
+				if weights[b]+w.vw[v] > maxW {
+					continue
+				}
+				if conn[b] > bestConn {
+					best, bestConn = b, conn[b]
+				}
+			}
+			for _, b := range touched {
+				conn[b] = 0
+			}
+			if best < 0 {
+				// No adjacent block has room: use the lightest block if
+				// it can take the vertex.
+				var lightest int32
+				for b := int32(1); b < int32(k); b++ {
+					if weights[b] < weights[lightest] {
+						lightest = b
+					}
+				}
+				if lightest == over || weights[lightest]+w.vw[v] > maxW {
+					continue
+				}
+				best = lightest
+			}
+			weights[over] -= w.vw[v]
+			weights[best] += w.vw[v]
+			assign[v] = best
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// touchedBlocks fills conn[b] with the total edge weight from v's
+// adjacency into block b and returns the distinct touched blocks
+// (including the home block if any neighbour shares it).
+func touchedBlocks(adj []wedge, assign []int32, conn []float64) []int32 {
+	touched := make([]int32, 0, 8)
+	for _, e := range adj {
+		b := assign[e.to]
+		if conn[b] == 0 {
+			touched = append(touched, b)
+		}
+		conn[b] += e.w
+	}
+	return touched
+}

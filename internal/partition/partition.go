@@ -1,0 +1,139 @@
+// Package partition implements the graph partitioners Hourglass builds
+// on (§6 of the paper): hash partitioning (Pregel style), the FENNEL
+// and LDG one-pass streaming partitioners, and a METIS-like multilevel
+// k-way partitioner used both offline (micro-partitioning) and online
+// (quotient clustering). It also provides the quality metrics the
+// paper reports: edge-cut percentage and load balance.
+package partition
+
+import (
+	"fmt"
+
+	"hourglass/internal/graph"
+)
+
+// Partitioning assigns every vertex to one of K blocks.
+type Partitioning struct {
+	Assign []int32
+	K      int
+}
+
+// Validate checks structural invariants: every assignment in [0, K).
+func (p Partitioning) Validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("partition: K = %d", p.K)
+	}
+	for v, b := range p.Assign {
+		if b < 0 || int(b) >= p.K {
+			return fmt.Errorf("partition: vertex %d assigned to %d outside [0,%d)", v, b, p.K)
+		}
+	}
+	return nil
+}
+
+// BlockSizes returns the number of vertices per block.
+func (p Partitioning) BlockSizes() []int64 {
+	sizes := make([]int64, p.K)
+	for _, b := range p.Assign {
+		sizes[b]++
+	}
+	return sizes
+}
+
+// BlockEdgeLoads returns, per block, the number of arcs whose source
+// lives in that block — the work measure the paper balances (§8.3.3
+// balances "total number of edges assigned to the different
+// partitions", as GPS does).
+func (p Partitioning) BlockEdgeLoads(g *graph.Graph) []int64 {
+	loads := make([]int64, p.K)
+	for v := 0; v < g.NumVertices(); v++ {
+		loads[p.Assign[v]] += int64(g.Degree(graph.VertexID(v)))
+	}
+	return loads
+}
+
+// EdgeCutFraction returns the fraction of logical edges crossing block
+// boundaries, the paper's partition-quality metric (Figure 8). For an
+// undirected graph mirrored arcs are counted once.
+func EdgeCutFraction(g *graph.Graph, assign []int32) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	var cut, total int64
+	g.ForEachEdge(func(s, d graph.VertexID, w float32) {
+		if g.Undirected() && s > d {
+			return
+		}
+		total++
+		if assign[s] != assign[d] {
+			cut++
+		}
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(cut) / float64(total)
+}
+
+// WeightedEdgeCut sums the weights of crossing arcs (counting each
+// undirected edge once). Used on quotient graphs where weights are
+// crossing-edge multiplicities.
+func WeightedEdgeCut(g *graph.Graph, assign []int32) float64 {
+	var cut float64
+	g.ForEachEdge(func(s, d graph.VertexID, w float32) {
+		if g.Undirected() && s > d {
+			return
+		}
+		if assign[s] != assign[d] {
+			cut += float64(w)
+		}
+	})
+	return cut
+}
+
+// Imbalance returns max block weight divided by mean block weight
+// (1.0 = perfectly balanced). Weights default to 1 per vertex when vw
+// is nil.
+func Imbalance(assign []int32, k int, vw []int64) float64 {
+	sizes := make([]int64, k)
+	var total int64
+	for v, b := range assign {
+		w := int64(1)
+		if vw != nil {
+			w = vw[v]
+		}
+		sizes[b] += w
+		total += w
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(k)
+	var max int64
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / mean
+}
+
+// RandomCutExpectation returns the expected edge-cut fraction of a
+// uniformly random assignment into n blocks, 1 - 1/n, the paper's
+// Random baseline in Figure 8.
+func RandomCutExpectation(n int) float64 { return 1 - 1/float64(n) }
+
+// Partitioner produces a k-way assignment for a graph. Implementations
+// must be deterministic for a fixed configuration.
+type Partitioner interface {
+	Name() string
+	Partition(g *graph.Graph, k int) Partitioning
+}
+
+// WeightedPartitioner additionally accepts per-vertex weights, needed
+// when clustering micro-partitions (quotient vertices carry the size
+// of their member set).
+type WeightedPartitioner interface {
+	Partitioner
+	PartitionWeighted(g *graph.Graph, vw []int64, k int) Partitioning
+}

@@ -1,0 +1,271 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hourglass/internal/graph"
+)
+
+// allPartitioners returns every implementation, used by table-driven
+// invariant tests.
+func allPartitioners(seed int64) []Partitioner {
+	return []Partitioner{
+		Hash{},
+		Chunked{},
+		Fennel{Seed: seed},
+		LDG{Seed: seed},
+		Multilevel{Seed: seed},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Partitioning{Assign: []int32{0, 1, 0}, K: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid partitioning rejected: %v", err)
+	}
+	bad := Partitioning{Assign: []int32{0, 2}, K: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if err := (Partitioning{K: 0}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestAllPartitionersProduceValidAssignments(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(10, 3))
+	for _, p := range allPartitioners(1) {
+		for _, k := range []int{1, 2, 3, 8, 16} {
+			if p.Name() == "multilevel" && k == 1 {
+				// covered by the dedicated trivial-k test below
+			}
+			part := p.Partition(g, k)
+			if err := part.Validate(); err != nil {
+				t.Errorf("%s k=%d: %v", p.Name(), k, err)
+			}
+			if len(part.Assign) != g.NumVertices() {
+				t.Errorf("%s k=%d: assignment length %d", p.Name(), k, len(part.Assign))
+			}
+		}
+	}
+}
+
+func TestPartitionersAreDeterministic(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(9, 4))
+	for _, p := range allPartitioners(7) {
+		a := p.Partition(g, 8)
+		b := p.Partition(g, 8)
+		for v := range a.Assign {
+			if a.Assign[v] != b.Assign[v] {
+				t.Errorf("%s: nondeterministic at vertex %d", p.Name(), v)
+				break
+			}
+		}
+	}
+}
+
+func TestEdgeCutFraction(t *testing.T) {
+	// Path 0-1-2-3 split {0,1}/{2,3}: 1 of 3 edges cut.
+	g := graph.Path(4)
+	cut := EdgeCutFraction(g, []int32{0, 0, 1, 1})
+	if want := 1.0 / 3.0; cut != want {
+		t.Errorf("cut = %v, want %v", cut, want)
+	}
+	// All in one block: no cut.
+	if c := EdgeCutFraction(g, []int32{0, 0, 0, 0}); c != 0 {
+		t.Errorf("single block cut = %v, want 0", c)
+	}
+	// Alternating: every edge cut.
+	if c := EdgeCutFraction(g, []int32{0, 1, 0, 1}); c != 1 {
+		t.Errorf("alternating cut = %v, want 1", c)
+	}
+}
+
+func TestWeightedEdgeCut(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, Weight: 5}, {Src: 1, Dst: 2, Weight: 3}},
+		graph.Undirected(), graph.Weighted())
+	cut := WeightedEdgeCut(g, []int32{0, 0, 1})
+	if cut != 3 {
+		t.Errorf("weighted cut = %v, want 3", cut)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// 4 vertices in 2 blocks, perfectly balanced.
+	if im := Imbalance([]int32{0, 0, 1, 1}, 2, nil); im != 1 {
+		t.Errorf("balanced imbalance = %v, want 1", im)
+	}
+	// All in one block of two: max=4, mean=2 → 2.
+	if im := Imbalance([]int32{0, 0, 0, 0}, 2, nil); im != 2 {
+		t.Errorf("skewed imbalance = %v, want 2", im)
+	}
+	// Weighted.
+	if im := Imbalance([]int32{0, 1}, 2, []int64{3, 1}); im != 1.5 {
+		t.Errorf("weighted imbalance = %v, want 1.5", im)
+	}
+}
+
+func TestRandomCutExpectation(t *testing.T) {
+	if got := RandomCutExpectation(2); got != 0.5 {
+		t.Errorf("random cut n=2: %v, want 0.5", got)
+	}
+	if got := RandomCutExpectation(4); got != 0.75 {
+		t.Errorf("random cut n=4: %v, want 0.75", got)
+	}
+}
+
+func TestChunkedIsContiguous(t *testing.T) {
+	g := graph.Path(10)
+	p := Chunked{}.Partition(g, 3)
+	for v := 1; v < 10; v++ {
+		if p.Assign[v] < p.Assign[v-1] {
+			t.Fatalf("chunked assignment not monotone: %v", p.Assign)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultilevelBeatsHashOnStructuredGraph(t *testing.T) {
+	// A 32×32 grid has a tiny optimal cut; multilevel should get far
+	// below hash (≈1−1/k) and below random.
+	g := graph.Grid(32, 32)
+	k := 4
+	ml := Multilevel{Seed: 1}.Partition(g, k)
+	h := Hash{}.Partition(g, k)
+	mlCut := EdgeCutFraction(g, ml.Assign)
+	hCut := EdgeCutFraction(g, h.Assign)
+	if mlCut >= hCut/2 {
+		t.Errorf("multilevel cut %.3f not clearly better than hash %.3f", mlCut, hCut)
+	}
+	if mlCut > 0.25 {
+		t.Errorf("multilevel cut on grid = %.3f, want < 0.25", mlCut)
+	}
+}
+
+func TestMultilevelBalance(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(11, 8))
+	for _, k := range []int{2, 4, 8} {
+		p := Multilevel{Seed: 2}.Partition(g, k)
+		if im := Imbalance(p.Assign, k, nil); im > 1.30 {
+			t.Errorf("k=%d imbalance = %.3f, want ≤ 1.30", k, im)
+		}
+	}
+}
+
+func TestMultilevelWeightedVertices(t *testing.T) {
+	// Star quotient-like graph: one heavy vertex, many light ones. The
+	// heavy vertex must not be co-assigned with everything.
+	g := graph.Complete(8)
+	vw := []int64{70, 10, 10, 10, 10, 10, 10, 10}
+	p := Multilevel{Seed: 3}.PartitionWeighted(g, vw, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := Imbalance(p.Assign, 2, vw); im > 1.35 {
+		t.Errorf("weighted imbalance = %.3f, want ≤ 1.35", im)
+	}
+}
+
+func TestMultilevelTrivialCases(t *testing.T) {
+	g := graph.Path(5)
+	p := Multilevel{Seed: 1}.Partition(g, 1)
+	for _, b := range p.Assign {
+		if b != 0 {
+			t.Fatalf("k=1 must assign everything to block 0, got %v", p.Assign)
+		}
+	}
+	empty := graph.NewBuilder(0).Build()
+	pe := Multilevel{Seed: 1}.Partition(empty, 4)
+	if len(pe.Assign) != 0 {
+		t.Fatalf("empty graph should yield empty assignment")
+	}
+}
+
+func TestFennelRespectsSlackness(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(10, 5))
+	k := 8
+	p := Fennel{Seed: 9, Slackness: 1.1}.Partition(g, k)
+	maxLoad := int64(float64(g.NumVertices()) / float64(k) * 1.1)
+	for b, s := range p.BlockSizes() {
+		if s > maxLoad+1 {
+			t.Errorf("block %d has %d vertices, cap ~%d", b, s, maxLoad)
+		}
+	}
+}
+
+func TestFennelBeatsHashOnCommunityGraph(t *testing.T) {
+	g := graph.Community(graph.CommunityParams{
+		Communities: 16, SizeMean: 64, IntraDegree: 16, InterFraction: 0.05, Seed: 6,
+	})
+	k := 4
+	f := Fennel{Seed: 1}.Partition(g, k)
+	h := Hash{}.Partition(g, k)
+	fCut := EdgeCutFraction(g, f.Assign)
+	hCut := EdgeCutFraction(g, h.Assign)
+	if fCut >= hCut {
+		t.Errorf("fennel cut %.3f not better than hash %.3f on community graph", fCut, hCut)
+	}
+}
+
+func TestLDGRespectsCapacityLoosely(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(10, 6))
+	k := 4
+	p := LDG{Seed: 2}.Partition(g, k)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := Imbalance(p.Assign, k, nil); im > 1.5 {
+		t.Errorf("LDG imbalance = %.2f, want ≤ 1.5", im)
+	}
+}
+
+func TestBlockEdgeLoads(t *testing.T) {
+	g := graph.Path(4) // degrees: 1,2,2,1 (undirected arcs)
+	p := Partitioning{Assign: []int32{0, 0, 1, 1}, K: 2}
+	loads := p.BlockEdgeLoads(g)
+	if loads[0] != 3 || loads[1] != 3 {
+		t.Errorf("edge loads = %v, want [3 3]", loads)
+	}
+}
+
+// Property: for every partitioner and random graph, assignment is a
+// valid total function and the block sizes sum to |V|.
+func TestQuickPartitionTotality(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 2 + int(kRaw%7)
+		g := graph.RMAT(graph.DefaultRMAT(8, seed))
+		for _, p := range allPartitioners(seed) {
+			part := p.Partition(g, k)
+			if part.Validate() != nil {
+				return false
+			}
+			var sum int64
+			for _, s := range part.BlockSizes() {
+				sum += s
+			}
+			if sum != int64(g.NumVertices()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multilevel's cut never exceeds the expected random cut by
+// more than noise on structured graphs.
+func TestQuickMultilevelNotWorseThanRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.WattsStrogatz(512, 8, 0.05, seed)
+		p := Multilevel{Seed: seed}.Partition(g, 4)
+		return EdgeCutFraction(g, p.Assign) < RandomCutExpectation(4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

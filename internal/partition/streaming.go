@@ -1,0 +1,144 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+
+	"hourglass/internal/graph"
+)
+
+// Fennel is the one-pass streaming partitioner of Tsourakakis et al.
+// (reference [41] in the paper). Vertices arrive in a stream; each is
+// placed in the block maximising
+//
+//	|N(v) ∩ S_i|  −  α·γ·|S_i|^(γ−1)
+//
+// i.e. neighbours already in the block minus a superlinear balance
+// penalty. The paper configures γ = 1.5 and α = √k · m / n^1.5.
+type Fennel struct {
+	// Gamma is the balance exponent; 0 means the paper default 1.5.
+	Gamma float64
+	// Slackness caps block size at Slackness · n/k (0 = paper default 1.1).
+	Slackness float64
+	// Seed orders the stream; vertices are visited in a seeded shuffle
+	// (a real stream order). Fixed seed ⇒ deterministic result.
+	Seed int64
+}
+
+// Name implements Partitioner.
+func (f Fennel) Name() string { return "fennel" }
+
+// Partition implements Partitioner.
+func (f Fennel) Partition(g *graph.Graph, k int) Partitioning {
+	gamma := f.Gamma
+	if gamma == 0 {
+		gamma = 1.5
+	}
+	slack := f.Slackness
+	if slack == 0 {
+		slack = 1.1
+	}
+	n := g.NumVertices()
+	m := float64(g.NumLogicalEdges())
+	alpha := math.Sqrt(float64(k)) * m / math.Pow(float64(n), gamma)
+	if alpha == 0 {
+		alpha = 1
+	}
+	maxLoad := int64(math.Ceil(slack * float64(n) / float64(k)))
+
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int64, k)
+	order := rand.New(rand.NewSource(f.Seed)).Perm(n)
+
+	neighborsIn := make([]int32, k) // scratch: neighbours per block
+	for _, vi := range order {
+		v := graph.VertexID(vi)
+		for i := range neighborsIn {
+			neighborsIn[i] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if b := assign[u]; b >= 0 {
+				neighborsIn[b]++
+			}
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for b := 0; b < k; b++ {
+			if sizes[b] >= maxLoad {
+				continue
+			}
+			score := float64(neighborsIn[b]) - alpha*gamma*math.Pow(float64(sizes[b]), gamma-1)
+			if score > bestScore {
+				best, bestScore = b, score
+			}
+		}
+		if best < 0 { // all blocks full (can happen with tight slack): pick lightest
+			var min int64 = math.MaxInt64
+			for b := 0; b < k; b++ {
+				if sizes[b] < min {
+					min, best = sizes[b], b
+				}
+			}
+		}
+		assign[v] = int32(best)
+		sizes[best]++
+	}
+	return Partitioning{Assign: assign, K: k}
+}
+
+// LDG is the Linear Deterministic Greedy streaming partitioner of
+// Stanton & Kliot (reference [37] in the paper): place v in the block
+// with most neighbours, weighted by a linear remaining-capacity factor
+// (1 − |S_i|/cap).
+type LDG struct {
+	Seed      int64
+	Slackness float64 // 0 = 1.0 (strict capacity n/k)
+}
+
+// Name implements Partitioner.
+func (l LDG) Name() string { return "ldg" }
+
+// Partition implements Partitioner.
+func (l LDG) Partition(g *graph.Graph, k int) Partitioning {
+	slack := l.Slackness
+	if slack == 0 {
+		slack = 1.0
+	}
+	n := g.NumVertices()
+	capacity := math.Ceil(slack * float64(n) / float64(k))
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int64, k)
+	order := rand.New(rand.NewSource(l.Seed)).Perm(n)
+	neighborsIn := make([]int32, k)
+	for _, vi := range order {
+		v := graph.VertexID(vi)
+		for i := range neighborsIn {
+			neighborsIn[i] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if b := assign[u]; b >= 0 {
+				neighborsIn[b]++
+			}
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for b := 0; b < k; b++ {
+			penalty := 1 - float64(sizes[b])/capacity
+			if penalty < 0 {
+				penalty = 0
+			}
+			score := float64(neighborsIn[b]) * penalty
+			// Tie-break toward the lighter block for balance.
+			if score > bestScore || (score == bestScore && sizes[b] < sizes[best]) {
+				best, bestScore = b, score
+			}
+		}
+		assign[v] = int32(best)
+		sizes[best]++
+	}
+	return Partitioning{Assign: assign, K: k}
+}

@@ -1,0 +1,99 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+)
+
+// Measurement is one calibration sample: a real engine run at a worker
+// count.
+type Measurement struct {
+	Workers  int
+	Elapsed  time.Duration
+	Messages int64
+}
+
+// MeasureScaling runs the program at each worker count on the real BSP
+// engine and reports wall-clock times — the §8.1 step of extracting
+// simulation parameters from real deployments, at laptop scale.
+func MeasureScaling(g *graph.Graph, prog func() engine.Program, counts []int, repeats int) ([]Measurement, error) {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	out := make([]Measurement, 0, len(counts))
+	for _, w := range counts {
+		var best time.Duration
+		var msgs int64
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			res, err := engine.Run(g, prog(), engine.Config{Workers: w})
+			if err != nil {
+				return nil, fmt.Errorf("perfmodel: calibration run (workers=%d): %w", w, err)
+			}
+			elapsed := time.Since(start)
+			if rep == 0 || elapsed < best {
+				best = elapsed
+			}
+			msgs = res.Stats.MessagesSent
+		}
+		out = append(out, Measurement{Workers: w, Elapsed: best, Messages: msgs})
+	}
+	return out, nil
+}
+
+// FitParallelOverhead fits the model's per-extra-worker efficiency
+// loss from scaling measurements: with capacity(n) = n·s/(1+α(n−1)),
+// the runtime ratio between the smallest and largest measured counts
+// determines α. Returns 0 (perfect scaling) when speedup meets or
+// exceeds linear. A single measurement cannot be fit.
+func FitParallelOverhead(ms []Measurement) (float64, error) {
+	if len(ms) < 2 {
+		return 0, fmt.Errorf("perfmodel: need ≥2 measurements, got %d", len(ms))
+	}
+	lo, hi := ms[0], ms[0]
+	for _, m := range ms[1:] {
+		if m.Workers < lo.Workers {
+			lo = m
+		}
+		if m.Workers > hi.Workers {
+			hi = m
+		}
+	}
+	if lo.Workers == hi.Workers {
+		return 0, fmt.Errorf("perfmodel: all measurements at %d workers", lo.Workers)
+	}
+	// t(n) ∝ (1+α(n−1))/n ⇒ with r = t_hi/t_lo:
+	//   r·n_hi·(1+α(n_lo−1)) = n_lo·(1+α(n_hi−1))
+	r := float64(hi.Elapsed) / float64(lo.Elapsed)
+	nLo, nHi := float64(lo.Workers), float64(hi.Workers)
+	den := nLo*(nHi-1) - r*nHi*(nLo-1)
+	if den <= 0 {
+		return 0, nil // super-linear or degenerate: no overhead evidence
+	}
+	alpha := (r*nHi - nLo) / den
+	if alpha < 0 {
+		alpha = 0
+	}
+	return alpha, nil
+}
+
+// Calibrated returns a copy of the model with ParallelOverhead fitted
+// from real engine scaling runs of the given program.
+func (m *Model) Calibrated(g *graph.Graph, prog func() engine.Program, counts []int) (*Model, error) {
+	ms, err := MeasureScaling(g, prog, counts, 2)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := FitParallelOverhead(ms)
+	if err != nil {
+		return nil, err
+	}
+	c := *m
+	if alpha > 0 {
+		c.ParallelOverhead = alpha
+	}
+	return &c, nil
+}

@@ -1,0 +1,87 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+)
+
+func TestFitParallelOverheadExact(t *testing.T) {
+	// Synthesise timings from the model itself with α = 0.05 and check
+	// the fit recovers it: t(n) ∝ (1+α(n−1))/n.
+	alpha := 0.05
+	timing := func(n int) time.Duration {
+		return time.Duration(1e9 * (1 + alpha*float64(n-1)) / float64(n))
+	}
+	ms := []Measurement{
+		{Workers: 1, Elapsed: timing(1)},
+		{Workers: 8, Elapsed: timing(8)},
+	}
+	got, err := FitParallelOverhead(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < alpha*0.95 || got > alpha*1.05 {
+		t.Errorf("fitted α = %v, want ≈ %v", got, alpha)
+	}
+}
+
+func TestFitParallelOverheadPerfectScaling(t *testing.T) {
+	ms := []Measurement{
+		{Workers: 1, Elapsed: 800 * time.Millisecond},
+		{Workers: 8, Elapsed: 100 * time.Millisecond},
+	}
+	got, err := FitParallelOverhead(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("perfect scaling fitted α = %v, want 0", got)
+	}
+}
+
+func TestFitParallelOverheadErrors(t *testing.T) {
+	if _, err := FitParallelOverhead(nil); err == nil {
+		t.Error("empty measurements accepted")
+	}
+	same := []Measurement{{Workers: 4, Elapsed: 1}, {Workers: 4, Elapsed: 2}}
+	if _, err := FitParallelOverhead(same); err == nil {
+		t.Error("single worker count accepted")
+	}
+}
+
+func TestMeasureScalingRuns(t *testing.T) {
+	p := graph.DefaultRMAT(11, 7)
+	p.Undirected = true
+	g := graph.RMAT(p)
+	ms, err := MeasureScaling(g, func() engine.Program {
+		return &engine.PageRank{Iterations: 5}
+	}, []int{1, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Elapsed <= 0 || ms[1].Messages == 0 {
+		t.Errorf("measurements: %+v", ms)
+	}
+}
+
+func TestCalibratedModel(t *testing.T) {
+	p := graph.DefaultRMAT(11, 8)
+	p.Undirected = true
+	g := graph.RMAT(p)
+	m, err := Default().Calibrated(g, func() engine.Program {
+		return &engine.PageRank{Iterations: 5}
+	}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParallelOverhead < 0 || m.ParallelOverhead > 3 {
+		t.Errorf("calibrated overhead = %v", m.ParallelOverhead)
+	}
+	// Loading configuration must be preserved.
+	if m.Loading != Default().Loading {
+		t.Error("calibration clobbered loading strategy")
+	}
+}

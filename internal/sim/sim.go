@@ -1,0 +1,415 @@
+// Package sim is the trace-driven execution simulator of §8.1: it
+// replays a provisioning strategy against spot-price traces, charging
+// real observed (synthetic, seeded) prices and suffering the evictions
+// the trace implies, and reports cost and deadline outcomes. All times
+// are virtual, so thousands of multi-hour runs simulate in seconds,
+// exactly as the paper's methodology prescribes.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/core"
+	"hourglass/internal/units"
+)
+
+// RunResult reports one simulated job execution.
+type RunResult struct {
+	Cost           units.USD
+	Finished       bool
+	MissedDeadline bool
+	Completion     units.Seconds // absolute completion time
+	Evictions      int
+	Reconfigs      int
+	Checkpoints    int
+	Decisions      int
+	// Timeline is populated when Runner.Trace is set.
+	Timeline *Timeline
+}
+
+// replica is one live deployment.
+type replica struct {
+	stats  *core.ConfigStats
+	bootAt units.Seconds // when it became ready (uptime anchor)
+	evict  units.Seconds // next eviction (absolute; +Inf if none)
+}
+
+// Runner executes single simulations.
+type Runner struct {
+	Env *core.Env
+	// MaxDecisions guards against livelock (0 = 100_000).
+	MaxDecisions int
+	// WarningWindow simulates providers that warn this long before an
+	// eviction (§9): if the window fits the checkpoint upload, the
+	// in-flight progress is persisted instead of rolled back.
+	WarningWindow units.Seconds
+	// Trace records a per-phase Timeline into each RunResult.
+	Trace bool
+}
+
+// Run simulates one job execution starting at `start` with an absolute
+// deadline. The provisioner is consulted at the start, at every
+// checkpoint boundary and after every eviction (§4).
+func (r *Runner) Run(prov core.Provisioner, start, deadline units.Seconds) (RunResult, error) {
+	maxDecisions := r.MaxDecisions
+	if maxDecisions == 0 {
+		maxDecisions = 100_000
+	}
+	env := r.Env
+	market := env.Market
+
+	t := start
+	wDurable := 1.0 // work left as of the last durable checkpoint
+	wLive := 1.0    // work left counting in-memory progress
+	var live []replica
+	var res RunResult
+	var tl *Timeline
+	if r.Trace {
+		tl = &Timeline{}
+		res.Timeline = tl
+	}
+
+	teardown := func() { live = nil }
+
+	for {
+		if wLive <= 0 {
+			res.Finished = true
+			res.Completion = t
+			res.MissedDeadline = t > deadline
+			tl.add(PhaseDone, t, t, "", 0)
+			return res, nil
+		}
+		res.Decisions++
+		if res.Decisions > maxDecisions {
+			return res, fmt.Errorf("sim: exceeded %d decisions (provisioner livelock?)", maxDecisions)
+		}
+		// Ask the provisioner what to run next.
+		var curCfg *cloud.Config
+		uptime := units.Seconds(0)
+		if len(live) > 0 {
+			curCfg = &live[0].stats.Config
+			uptime = t - live[0].bootAt
+		}
+		dec, err := prov.Decide(core.State{
+			Now: t, WorkLeft: wLive, Deadline: deadline, Current: curCfg, Uptime: uptime,
+		})
+		if err != nil {
+			return res, err
+		}
+		primary, ok := env.StatsFor(dec.Config)
+		if !ok {
+			return res, fmt.Errorf("sim: provisioner chose unknown config %s", dec.Config.ID())
+		}
+
+		if !dec.KeepCurrent || len(live) == 0 {
+			// (Re)deploy: tear down, wait for market availability, boot
+			// and load. In-memory progress is lost unless a replica of
+			// the same deployment survives (handled by KeepCurrent).
+			teardown()
+			wLive = wDurable
+			res.Reconfigs++
+			configs := append([]cloud.Config{dec.Config}, dec.Extra...)
+			readyAt := t
+			for _, c := range configs {
+				avail, err := market.NextAvailable(c, t)
+				if err != nil {
+					return res, err
+				}
+				cs, ok := env.StatsFor(c)
+				if !ok {
+					return res, fmt.Errorf("sim: unknown replica config %s", c.ID())
+				}
+				ra := avail + cs.Boot + cs.Load
+				if ra > readyAt {
+					readyAt = ra
+				}
+			}
+			// Pay for each replica from its availability to readiness.
+			for _, c := range configs {
+				avail, _ := market.NextAvailable(c, t)
+				cost, err := market.Cost(c, avail, readyAt)
+				if err != nil {
+					return res, err
+				}
+				res.Cost += cost
+			}
+			live = live[:0]
+			for _, c := range configs {
+				cs, _ := env.StatsFor(c)
+				ev := units.Seconds(math.Inf(1))
+				if c.Transient {
+					if at, ok, err := market.NextEviction(c, readyAt); err == nil && ok {
+						ev = at
+					}
+				}
+				live = append(live, replica{stats: cs, bootAt: readyAt, evict: ev})
+			}
+			tl.add(PhaseDeploy, t, readyAt, dec.Config.ID(), wLive)
+			t = readyAt
+		} else {
+			// Keep running: refresh eviction forecasts (prices moved on).
+			for i := range live {
+				if live[i].stats.Config.Transient {
+					if at, ok, err := market.NextEviction(live[i].stats.Config, t); err == nil && ok {
+						live[i].evict = at
+					} else {
+						live[i].evict = units.Seconds(math.Inf(1))
+					}
+				}
+			}
+		}
+
+		// Determine the next event: segment completion (checkpoint or
+		// job end) or the earliest eviction.
+		ckpt := units.Seconds(math.Inf(1))
+		if dec.UseCheckpoints {
+			ckpt = primary.Ckpt
+		}
+		remaining := units.Seconds(wLive * float64(primary.Exec))
+		segment := units.Min(remaining, ckpt)
+		if dec.MaxRun > 0 {
+			// Respect the provisioner's planned useful interval — the
+			// slack-aware guarantee depends on being re-consulted here.
+			segment = units.Min(segment, dec.MaxRun)
+		}
+		if segment <= 0 {
+			segment = units.Seconds(1)
+		}
+		segEnd := t + segment
+
+		firstEvict := units.Seconds(math.Inf(1))
+		evictIdx := -1
+		for i := range live {
+			if live[i].evict < firstEvict {
+				firstEvict = live[i].evict
+				evictIdx = i
+			}
+		}
+
+		if firstEvict < segEnd {
+			// Eviction mid-segment.
+			for i := range live {
+				end := units.Min(firstEvict, live[i].evict)
+				cost, err := market.Cost(live[i].stats.Config, t, end)
+				if err != nil {
+					return res, err
+				}
+				res.Cost += cost
+			}
+			res.Evictions++
+			// Progress since t accrues only in memory; survivors keep it.
+			elapsed := firstEvict - t
+			wLive -= float64(elapsed) / float64(primary.Exec)
+			if wLive < 0 {
+				wLive = 0
+			}
+			t = firstEvict
+			// §9 extension: a warning long enough to upload a checkpoint
+			// turns the in-flight progress durable before the machines
+			// vanish.
+			if dec.UseCheckpoints && r.WarningWindow >= primary.Save {
+				wDurable = wLive
+				res.Checkpoints++
+			}
+			// Drop the evicted replica (and any other replica evicted
+			// at the same instant).
+			var survivors []replica
+			for i := range live {
+				if i != evictIdx && live[i].evict > t {
+					survivors = append(survivors, live[i])
+				}
+			}
+			tl.add(PhaseCompute, t-elapsed, t, primary.Config.ID(), wLive)
+			tl.add(PhaseEvicted, t, t, primary.Config.ID(), wLive)
+			if len(survivors) == 0 {
+				// Total loss: roll back to the last durable checkpoint.
+				wLive = wDurable
+				live = nil
+			} else {
+				// The survivor holds the in-memory state; promote it.
+				live = survivors
+			}
+			continue
+		}
+
+		// Segment completes.
+		for i := range live {
+			cost, err := market.Cost(live[i].stats.Config, t, segEnd)
+			if err != nil {
+				return res, err
+			}
+			res.Cost += cost
+		}
+		wLive -= float64(segment) / float64(primary.Exec)
+		if wLive < 1e-12 {
+			wLive = 0
+		}
+		tl.add(PhaseCompute, t, segEnd, primary.Config.ID(), wLive)
+		t = segEnd
+
+		// Persist state: a checkpoint if mid-job, the output write if done.
+		saveEnd := t + primary.Save
+		interrupted := false
+		for i := range live {
+			if live[i].evict < saveEnd {
+				interrupted = true
+			}
+		}
+		if interrupted && len(live) == 1 {
+			// Eviction during the save: the checkpoint fails.
+			ev := live[0].evict
+			cost, err := market.Cost(live[0].stats.Config, t, ev)
+			if err != nil {
+				return res, err
+			}
+			res.Cost += cost
+			res.Evictions++
+			tl.add(PhaseSave, t, ev, primary.Config.ID(), wLive)
+			tl.add(PhaseEvicted, ev, ev, primary.Config.ID(), wLive)
+			t = ev
+			wLive = wDurable
+			live = nil
+			continue
+		}
+		for i := range live {
+			cost, err := market.Cost(live[i].stats.Config, t, saveEnd)
+			if err != nil {
+				return res, err
+			}
+			res.Cost += cost
+		}
+		tl.add(PhaseSave, t, saveEnd, primary.Config.ID(), wLive)
+		t = saveEnd
+		if wLive > 0 {
+			if dec.UseCheckpoints {
+				wDurable = wLive
+				res.Checkpoints++
+			}
+			continue
+		}
+		wDurable = 0
+		res.Finished = true
+		res.Completion = t
+		res.MissedDeadline = t > deadline
+		tl.add(PhaseDone, t, t, primary.Config.ID(), 0)
+		return res, nil
+	}
+}
+
+// BatchResult aggregates a batch of randomised runs (the paper averages
+// ~2000 simulations per strategy with random trace start points).
+type BatchResult struct {
+	Runs           int
+	MeanCost       units.USD
+	MeanNormCost   float64 // vs. the on-demand baseline
+	MissedFraction float64
+	MeanEvictions  float64
+	MeanReconfigs  float64
+}
+
+// Baseline is the normalisation denominator: one uninterrupted run on
+// the last-resort configuration, checkpointing disabled (§8.2).
+func Baseline(env *core.Env) units.USD {
+	lrc := env.LRC
+	dur := float64(lrc.Fixed) + float64(lrc.Exec)
+	return units.USD(float64(lrc.Config.OnDemandRate()) * dur)
+}
+
+// RunBatch simulates n runs with uniformly random start offsets.
+// provFactory must return a fresh provisioner per run (wrappers like
+// DeadlineProtection carry latch state).
+func (r *Runner) RunBatch(provFactory func() core.Provisioner, slackFraction float64, n int, seed int64) (BatchResult, error) {
+	env := r.Env
+	lrc := env.LRC
+	// Deadline = fixed + exec + slackFraction·exec, the §8.2 scheme
+	// ("10 different deadlines, which vary the slack available ... from
+	// 10% to 100% of the execution time").
+	rel := lrc.Fixed + lrc.Exec + units.Seconds(slackFraction*float64(lrc.Exec))
+	rng := rand.New(rand.NewSource(seed))
+	horizon := r.traceHorizon()
+	baseline := float64(Baseline(env))
+
+	// Pre-draw all start offsets so parallel execution cannot perturb
+	// the deterministic sequence.
+	starts := make([]units.Seconds, n)
+	for i := range starts {
+		starts[i] = units.Seconds(rng.Float64() * float64(horizon))
+	}
+	results := make([]RunResult, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = r.Run(provFactory(), starts[i], starts[i]+rel)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var agg BatchResult
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return agg, fmt.Errorf("run %d (start %v): %w", i, starts[i], errs[i])
+		}
+		res := results[i]
+		// §8.2: reported costs include the offline partitioning phase.
+		res.Cost += env.OfflineCost
+		agg.Runs++
+		agg.MeanCost += res.Cost
+		if res.MissedDeadline || !res.Finished {
+			agg.MissedFraction++
+		}
+		agg.MeanEvictions += float64(res.Evictions)
+		agg.MeanReconfigs += float64(res.Reconfigs)
+	}
+	if agg.Runs > 0 {
+		agg.MeanCost /= units.USD(agg.Runs)
+		agg.MeanNormCost = float64(agg.MeanCost) / baseline
+		agg.MissedFraction /= float64(agg.Runs)
+		agg.MeanEvictions /= float64(agg.Runs)
+		agg.MeanReconfigs /= float64(agg.Runs)
+	}
+	return agg, nil
+}
+
+// traceHorizon returns the shortest trace duration in the market,
+// bounding random start offsets.
+func (r *Runner) traceHorizon() units.Seconds {
+	min := units.Seconds(math.Inf(1))
+	for i := range r.Env.Stats {
+		c := r.Env.Stats[i].Config
+		if !c.Transient {
+			continue
+		}
+		if tr, err := r.Env.MarketTrace(c.Instance.Name); err == nil {
+			if d := tr.Duration(); d < min {
+				min = d
+			}
+		}
+	}
+	if math.IsInf(float64(min), 1) {
+		return 30 * units.Day
+	}
+	return min
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"testing"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/core"
+	"hourglass/internal/perfmodel"
+	"hourglass/internal/units"
+)
+
+// testEnv mirrors §8.1: historical month for eviction stats, live month
+// for the simulated market.
+func testEnv(t testing.TB, job perfmodel.Job) *core.Env {
+	t.Helper()
+	historical := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 1010})
+	em, err := cloud.BuildEvictionModel(historical, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 2020})
+	env, err := core.NewEnv(job, perfmodel.Default(), cloud.DefaultConfigs(), cloud.NewMarket(live), em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func deadlineFor(env *core.Env, frac float64) units.Seconds {
+	return env.LRC.Fixed + env.LRC.Exec + units.Seconds(frac*float64(env.LRC.Exec))
+}
+
+func TestOnDemandRunAlwaysMeetsDeadline(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	r := &Runner{Env: env}
+	for _, start := range []units.Seconds{0, 3 * units.Hour, 2 * units.Day} {
+		res, err := r.Run(&core.OnDemandOnly{Env: env}, start, start+deadlineFor(env, 0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished || res.MissedDeadline {
+			t.Errorf("start %v: finished=%v missed=%v", start, res.Finished, res.MissedDeadline)
+		}
+		if res.Evictions != 0 {
+			t.Errorf("on-demand run suffered %d evictions", res.Evictions)
+		}
+		// Cost ≈ the baseline (save-time differences only).
+		base := float64(Baseline(env))
+		if got := float64(res.Cost); got < base*0.95 || got > base*1.10 {
+			t.Errorf("on-demand cost %v, baseline %v", res.Cost, Baseline(env))
+		}
+	}
+}
+
+func TestHourglassNeverMissesDeadlines(t *testing.T) {
+	// The paper's core guarantee (always-0 labels in Figures 1 and 5).
+	for _, job := range []perfmodel.Job{perfmodel.JobSSSP, perfmodel.JobPageRank} {
+		env := testEnv(t, job)
+		r := &Runner{Env: env}
+		for _, frac := range []float64{0.1, 0.5, 1.0} {
+			batch, err := r.RunBatch(func() core.Provisioner { return core.NewSlackAware(env) },
+				frac, 30, 42)
+			if err != nil {
+				t.Fatalf("%s slack %v: %v", job.Name, frac, err)
+			}
+			if batch.MissedFraction != 0 {
+				t.Errorf("%s slack %.0f%%: hourglass missed %.0f%% of deadlines",
+					job.Name, frac*100, batch.MissedFraction*100)
+			}
+		}
+	}
+}
+
+func TestHourglassGCNoMissesAndSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-job batch")
+	}
+	env := testEnv(t, perfmodel.JobGC)
+	r := &Runner{Env: env}
+	batch, err := r.RunBatch(func() core.Provisioner { return core.NewSlackAware(env) }, 0.5, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MissedFraction != 0 {
+		t.Errorf("hourglass missed %.0f%% of GC deadlines", batch.MissedFraction*100)
+	}
+	if batch.MeanNormCost >= 1.0 {
+		t.Errorf("hourglass GC normalized cost %.2f, expected below on-demand", batch.MeanNormCost)
+	}
+}
+
+func TestHourglassCheaperThanOnDemand(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	r := &Runner{Env: env}
+	hg, err := r.RunBatch(func() core.Provisioner { return core.NewSlackAware(env) }, 1.0, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := r.RunBatch(func() core.Provisioner { return &core.OnDemandOnly{Env: env} }, 1.0, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.MeanNormCost >= od.MeanNormCost {
+		t.Errorf("hourglass %.3f not cheaper than on-demand %.3f", hg.MeanNormCost, od.MeanNormCost)
+	}
+	// Figure 5 shape: with 100% slack the savings are substantial.
+	if hg.MeanNormCost > 0.8 {
+		t.Errorf("hourglass normalized cost %.2f, want < 0.8 at 100%% slack", hg.MeanNormCost)
+	}
+}
+
+func TestGreedyMissesDeadlinesOnLongJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-job batch")
+	}
+	// The §2 dilemma: eager/greedy provisioning over a 4-hour job with a
+	// small slack misses deadlines (79% in Figure 1).
+	env := testEnv(t, perfmodel.JobGC)
+	r := &Runner{Env: env}
+	batch, err := r.RunBatch(func() core.Provisioner { return core.NewGreedy(env) }, 0.2, 25, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MissedFraction == 0 {
+		t.Errorf("greedy missed no deadlines on GC at 20%% slack — dilemma not reproduced")
+	}
+}
+
+func TestDPWrapperNeverMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-job batch")
+	}
+	env := testEnv(t, perfmodel.JobGC)
+	r := &Runner{Env: env}
+	batch, err := r.RunBatch(func() core.Provisioner { return core.NewDP(core.NewGreedy(env), env) },
+		0.3, 25, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MissedFraction != 0 {
+		t.Errorf("greedy+DP missed %.0f%% of deadlines", batch.MissedFraction*100)
+	}
+}
+
+func TestRunAccountsEvictionsAndCheckpoints(t *testing.T) {
+	env := testEnv(t, perfmodel.JobGC)
+	r := &Runner{Env: env}
+	// Greedy on a long job across many starts: some runs must observe
+	// evictions and all transient segments checkpoint.
+	sawEviction := false
+	sawCheckpoint := false
+	for i := 0; i < 20; i++ {
+		start := units.Seconds(i) * 8 * units.Hour
+		res, err := r.Run(core.NewGreedy(env), start, start+deadlineFor(env, 1.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished {
+			t.Fatalf("run %d did not finish", i)
+		}
+		if res.Evictions > 0 {
+			sawEviction = true
+		}
+		if res.Checkpoints > 0 {
+			sawCheckpoint = true
+		}
+		if res.Cost <= 0 {
+			t.Errorf("run %d: non-positive cost", i)
+		}
+	}
+	if !sawEviction {
+		t.Error("no run observed an eviction — spot market too calm for the experiment")
+	}
+	if !sawCheckpoint {
+		t.Error("no run checkpointed")
+	}
+}
+
+func TestBaselinePositive(t *testing.T) {
+	env := testEnv(t, perfmodel.JobSSSP)
+	if Baseline(env) <= 0 {
+		t.Fatal("baseline not positive")
+	}
+}
+
+func TestBatchAggregation(t *testing.T) {
+	env := testEnv(t, perfmodel.JobSSSP)
+	r := &Runner{Env: env}
+	batch, err := r.RunBatch(func() core.Provisioner { return &core.OnDemandOnly{Env: env} }, 0.5, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Runs != 10 {
+		t.Errorf("runs = %d", batch.Runs)
+	}
+	if batch.MeanNormCost < 0.9 || batch.MeanNormCost > 1.1 {
+		t.Errorf("on-demand normalized cost = %.3f, want ≈ 1", batch.MeanNormCost)
+	}
+	if batch.MissedFraction != 0 {
+		t.Errorf("on-demand missed %.2f", batch.MissedFraction)
+	}
+}
+
+func TestSpotOnRuns(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	r := &Runner{Env: env}
+	batch, err := r.RunBatch(func() core.Provisioner { return core.NewSpotOn(env) }, 0.5, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Runs != 15 {
+		t.Errorf("spotOn batch incomplete: %d", batch.Runs)
+	}
+}
+
+func TestWarningWindowNeverHurts(t *testing.T) {
+	// §9 extension: an eviction warning that fits the checkpoint upload
+	// preserves in-flight progress, so cost must not increase and
+	// deadlines must still hold.
+	env := testEnv(t, perfmodel.JobGC)
+	plain := &Runner{Env: env}
+	warned := &Runner{Env: env, WarningWindow: 120}
+	pb, err := plain.RunBatch(func() core.Provisioner { return core.NewSlackAware(env) }, 0.3, 20, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := warned.RunBatch(func() core.Provisioner {
+		p := core.NewSlackAware(env)
+		p.WarningWindow = 120
+		return p
+	}, 0.3, 20, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.MissedFraction != 0 {
+		t.Errorf("warning-aware run missed %.2f", wp.MissedFraction)
+	}
+	if wp.MeanNormCost > pb.MeanNormCost*1.05 {
+		t.Errorf("warning raised cost: %.3f vs %.3f", wp.MeanNormCost, pb.MeanNormCost)
+	}
+}
+
+func TestRelaxedStrategyRuns(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	r := &Runner{Env: env}
+	batch, err := r.RunBatch(func() core.Provisioner {
+		return core.NewRelaxed(env, env.LRC.Exec/2)
+	}, 0.2, 20, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Runs != 20 {
+		t.Fatalf("runs = %d", batch.Runs)
+	}
+	// Relaxed must be at most as expensive as strict Hourglass (it has
+	// strictly more perceived slack).
+	strict, err := r.RunBatch(func() core.Provisioner { return core.NewSlackAware(env) }, 0.2, 20, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MeanNormCost > strict.MeanNormCost*1.1 {
+		t.Errorf("relaxed %.3f costlier than strict %.3f", batch.MeanNormCost, strict.MeanNormCost)
+	}
+}

@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hourglass/internal/units"
+)
+
+func cluster(t *testing.T, n int, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func approx(a, b units.Seconds, tol float64) bool {
+	return math.Abs(float64(a-b)) <= tol*math.Abs(float64(b))+1e-9
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, DefaultConfig()); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := DefaultConfig()
+	bad.NICBandwidth = 0
+	if _, err := NewCluster(2, bad); err == nil {
+		t.Error("zero NIC accepted")
+	}
+}
+
+func TestSingleFlowNodeToNode(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 1000, DatastorePerConn: 1000, Latency: 0}
+	c := cluster(t, 2, cfg)
+	// 1000 bytes at 100 B/s = 10 s.
+	got := c.SimulateFlows([]Flow{{Src: 0, Dst: 1, Bytes: 1000}})
+	if !approx(got, 10, 0.01) {
+		t.Errorf("time = %v, want 10s", got)
+	}
+}
+
+func TestTwoFlowsShareSenderNIC(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 1e9, DatastorePerConn: 1e9, Latency: 0}
+	c := cluster(t, 3, cfg)
+	// Node 0 sends 1000 B to both 1 and 2: sender NIC shared 50/50,
+	// both finish at 20 s.
+	got := c.SimulateFlows([]Flow{{0, 1, 1000}, {0, 2, 1000}})
+	if !approx(got, 20, 0.01) {
+		t.Errorf("time = %v, want 20s", got)
+	}
+}
+
+func TestUnequalFlowsProgressiveFilling(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 1e9, DatastorePerConn: 1e9, Latency: 0}
+	c := cluster(t, 3, cfg)
+	// 0→1: 500 B, 0→2: 1500 B. Share 50/50 until t=10 (500 done), then
+	// flow 2 gets full 100 B/s for remaining 1000 → t=20.
+	got := c.SimulateFlows([]Flow{{0, 1, 500}, {0, 2, 1500}})
+	if !approx(got, 20, 0.01) {
+		t.Errorf("time = %v, want 20s", got)
+	}
+}
+
+func TestDatastorePerConnectionCap(t *testing.T) {
+	cfg := Config{NICBandwidth: 1000, DatastoreAggregate: 1000, DatastorePerConn: 100, Latency: 0}
+	c := cluster(t, 2, cfg)
+	// Single store connection capped at 100 B/s although NIC is 1000.
+	got := c.SimulateFlows([]Flow{{DatastoreNode, 0, 1000}})
+	if !approx(got, 10, 0.01) {
+		t.Errorf("time = %v, want 10s", got)
+	}
+}
+
+func TestDatastoreAggregateCap(t *testing.T) {
+	cfg := Config{NICBandwidth: 1e9, DatastoreAggregate: 400, DatastorePerConn: 1e9, Latency: 0}
+	c := cluster(t, 4, cfg)
+	// 4 nodes each fetch 1000 B; aggregate 400 B/s → 100 B/s each → 10 s.
+	flows := []Flow{
+		{DatastoreNode, 0, 1000}, {DatastoreNode, 1, 1000},
+		{DatastoreNode, 2, 1000}, {DatastoreNode, 3, 1000},
+	}
+	got := c.SimulateFlows(flows)
+	if !approx(got, 10, 0.01) {
+		t.Errorf("time = %v, want 10s", got)
+	}
+}
+
+func TestLatencyOnlyFlows(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 100, DatastorePerConn: 100, Latency: 2}
+	c := cluster(t, 2, cfg)
+	if got := c.SimulateFlows([]Flow{{0, 1, 0}}); got != 2 {
+		t.Errorf("zero-byte flow time = %v, want latency 2", got)
+	}
+	if got := c.SimulateFlows(nil); got != 0 {
+		t.Errorf("no flows time = %v, want 0", got)
+	}
+	// Local flow is free (latency only).
+	if got := c.SimulateFlows([]Flow{{1, 1, 5000}}); got != 2 {
+		t.Errorf("local flow time = %v, want 2", got)
+	}
+}
+
+func TestAllToAllSymmetric(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 1e9, DatastorePerConn: 1e9, Latency: 0}
+	n := 4
+	c := cluster(t, n, cfg)
+	var flows []Flow
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				flows = append(flows, Flow{i, j, 300})
+			}
+		}
+	}
+	// Each node sends 900 B through a 100 B/s NIC → 9 s.
+	got := c.SimulateFlows(flows)
+	if !approx(got, 9, 0.02) {
+		t.Errorf("all-to-all time = %v, want 9s", got)
+	}
+}
+
+func TestPanicsOnBadNode(t *testing.T) {
+	c := cluster(t, 2, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	c.SimulateFlows([]Flow{{5, 0, 10}})
+}
+
+// Property: completion time is at least the single-flow lower bound
+// (bytes / fastest possible path) and total simulated throughput never
+// exceeds aggregate capacity.
+func TestQuickLowerBound(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 250, DatastorePerConn: 80, Latency: 0}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		c, _ := NewCluster(3, cfg)
+		var flows []Flow
+		var total int64
+		for i, b := range raw {
+			bytes := int64(b%5000) + 1
+			flows = append(flows, Flow{DatastoreNode, i % 3, bytes})
+			total += bytes
+		}
+		got := c.SimulateFlows(flows)
+		// Aggregate bound: cannot move faster than store aggregate.
+		lower := units.Seconds(float64(total) / cfg.DatastoreAggregate)
+		return got >= lower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a flow never speeds up completion.
+func TestQuickMonotonicity(t *testing.T) {
+	cfg := Config{NICBandwidth: 100, DatastoreAggregate: 300, DatastorePerConn: 100, Latency: 0}
+	f := func(a, b uint16) bool {
+		c, _ := NewCluster(2, cfg)
+		base := []Flow{{0, 1, int64(a%9000 + 1)}}
+		t1 := c.SimulateFlows(base)
+		t2 := c.SimulateFlows(append(base, Flow{0, 1, int64(b%9000 + 1)}))
+		return t2 >= t1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

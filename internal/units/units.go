@@ -1,0 +1,96 @@
+// Package units defines the scalar quantities used throughout Hourglass:
+// virtual time in seconds and money in US dollars. Both are plain
+// float64s so that the provisioning math (integrals, expectations) stays
+// free of conversion noise, but the named types keep signatures honest.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Seconds is a span of virtual time. The simulator, the performance
+// model and the provisioning strategy all operate on virtual seconds; a
+// "4 hour" job costs microseconds of wall time to simulate.
+type Seconds float64
+
+// USD is an amount of money in US dollars.
+type USD float64
+
+// Common durations.
+const (
+	Second Seconds = 1
+	Minute Seconds = 60
+	Hour   Seconds = 3600
+	Day    Seconds = 24 * Hour
+)
+
+// Duration converts virtual seconds into a time.Duration for display.
+func (s Seconds) Duration() time.Duration {
+	return time.Duration(float64(s) * float64(time.Second))
+}
+
+// FromDuration converts a time.Duration into virtual seconds.
+func FromDuration(d time.Duration) Seconds {
+	return Seconds(d.Seconds())
+}
+
+// String renders the span compactly, e.g. "2h30m", "3m20s" or "1.25s".
+func (s Seconds) String() string {
+	v := float64(s)
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v < 0:
+		return "-" + (-s).String()
+	case v >= float64(Hour):
+		h := int(v / float64(Hour))
+		m := int(v/float64(Minute)) % 60
+		return fmt.Sprintf("%dh%02dm", h, m)
+	case v >= float64(Minute):
+		m := int(v / float64(Minute))
+		sec := int(v) % 60
+		return fmt.Sprintf("%dm%02ds", m, sec)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+// String renders dollars with four decimal places (spot prices are
+// fractions of a cent per second).
+func (u USD) String() string { return fmt.Sprintf("$%.4f", float64(u)) }
+
+// PerHour is a price rate in dollars per hour, the unit cloud
+// catalogues quote. PerSecond converts it to the simulator's granularity.
+type PerHour float64
+
+// PerSecond returns the equivalent rate in dollars per second.
+func (p PerHour) PerSecond() USD { return USD(float64(p) / float64(Hour)) }
+
+// Min returns the smaller of two spans.
+func Min(a, b Seconds) Seconds {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of two spans.
+func Max(a, b Seconds) Seconds {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp restricts v to [lo, hi].
+func Clamp(v, lo, hi Seconds) Seconds {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

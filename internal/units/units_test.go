@@ -1,0 +1,68 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0.5, "0.50s"},
+		{59, "59.00s"},
+		{60, "1m00s"},
+		{61, "1m01s"},
+		{3600, "1h00m"},
+		{3661, "1h01m"},
+		{Seconds(2.5 * float64(Hour)), "2h30m"},
+		{-90, "-1m30s"},
+		{Seconds(math.Inf(1)), "inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Seconds(1.5).Duration() != 1500*time.Millisecond {
+		t.Errorf("Duration = %v", Seconds(1.5).Duration())
+	}
+	if FromDuration(2*time.Minute) != 120 {
+		t.Errorf("FromDuration = %v", FromDuration(2*time.Minute))
+	}
+}
+
+func TestUSDString(t *testing.T) {
+	if got := USD(1.23456).String(); got != "$1.2346" {
+		t.Errorf("USD string = %q", got)
+	}
+}
+
+func TestPerHourPerSecond(t *testing.T) {
+	if got := PerHour(3600).PerSecond(); got != 1 {
+		t.Errorf("PerSecond = %v, want 1", got)
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	if Min(1, 2) != 1 || Min(3, 2) != 2 {
+		t.Error("Min broken")
+	}
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Error("Max broken")
+	}
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if Minute != 60 || Hour != 3600 || Day != 86400 {
+		t.Error("time constants drifted")
+	}
+}
