@@ -1,0 +1,103 @@
+// hourglass-serve is the recurrent-job controller daemon: the §3
+// workload model ("time-constrained graph jobs executed recurrently
+// with a deadline") run as a long-lived service. It owns a table of
+// recurring jobs, fires each recurrence against the shared spot
+// market, and exposes an HTTP control plane with per-job history and
+// Prometheus metrics.
+//
+//	hourglass-serve -addr :8080 -seed 42 -state /tmp/hourglass.json
+//
+//	# submit a recurrent PageRank (every 30m, 48 runs, 50% slack)
+//	curl -s -X POST localhost:8080/jobs -d '{
+//	  "kind":"pagerank","strategy":"hourglass",
+//	  "slack":0.5,"period":"30m","runs":48}'
+//
+//	curl -s localhost:8080/jobs/job-1/history | head
+//	curl -s localhost:8080/metrics | grep hourglass_cost
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+	"hourglass/internal/scheduler"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "control-plane listen address")
+	seed := flag.Int64("seed", 42, "market trace + offset seed")
+	traceDays := flag.Float64("trace-days", 10, "length of the generated market month")
+	workers := flag.Int("workers", 4, "concurrent recurrence executions")
+	history := flag.Int("history", 1024, "retained run records per job")
+	state := flag.String("state", "", "state file: restored at boot, written on shutdown")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	sys, err := hourglass.New(hourglass.Options{Seed: *seed, TraceDays: *traceDays})
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+
+	// The controller snapshots into a Datastore (the S3 stand-in);
+	// -state mirrors that object to a local file across restarts.
+	const snapshotKey = "scheduler/state.json"
+	store := cloud.NewDatastore()
+	if *state != "" {
+		if data, err := os.ReadFile(*state); err == nil {
+			store.Put(snapshotKey, data)
+			log.Printf("loaded state from %s (%d bytes)", *state, len(data))
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("reading state file: %v", err)
+		}
+	}
+
+	ctrl, err := scheduler.New(scheduler.Options{
+		Backend:      scheduler.SystemBackend{Sys: sys},
+		Workers:      *workers,
+		HistoryLimit: *history,
+		Seed:         *seed,
+		Store:        store,
+		SnapshotKey:  snapshotKey,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("starting controller: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: ctrl.Handler()}
+	go func() {
+		log.Printf("hourglass-serve listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down (draining up to %v)...", *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := ctrl.Shutdown(ctx); err != nil {
+		log.Printf("controller shutdown: %v", err)
+	}
+	if *state != "" {
+		if data, _, err := store.Get(snapshotKey); err == nil {
+			if err := os.WriteFile(*state, data, 0o644); err != nil {
+				log.Printf("writing state file: %v", err)
+			} else {
+				log.Printf("state saved to %s (%d bytes)", *state, len(data))
+			}
+		}
+	}
+}

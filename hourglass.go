@@ -17,6 +17,7 @@ package hourglass
 
 import (
 	"fmt"
+	"sync"
 
 	"hourglass/internal/cloud"
 	"hourglass/internal/core"
@@ -49,6 +50,16 @@ func job(k JobKind) (perfmodel.Job, error) {
 	}
 }
 
+// ParseJobKind validates a job-kind name, for admission checks on
+// external input (CLI flags, HTTP job specs).
+func ParseJobKind(s string) (JobKind, error) {
+	k := JobKind(s)
+	if _, err := job(k); err != nil {
+		return "", err
+	}
+	return k, nil
+}
+
 // Strategy names a provisioning strategy.
 type Strategy string
 
@@ -74,6 +85,19 @@ func Strategies() []Strategy {
 		StrategyRelaxed}
 }
 
+// ValidateStrategy rejects strategy names Provisioner cannot build.
+// Long-running callers (the scheduler daemon) validate specs at
+// admission so a bad strategy can never surface mid-batch.
+func ValidateStrategy(st Strategy) error {
+	switch st {
+	case StrategyHourglass, StrategyProteus, StrategySpotOn,
+		StrategyProteusDP, StrategySpotOnDP, StrategyOnDemand,
+		StrategyNaive, StrategyRelaxed:
+		return nil
+	}
+	return fmt.Errorf("hourglass: unknown strategy %q", st)
+}
+
 // Options configure a System.
 type Options struct {
 	// Seed drives the synthetic spot-price traces (historical and
@@ -96,13 +120,19 @@ type Options struct {
 }
 
 // System is a ready-to-simulate Hourglass deployment environment.
+// A System is safe for concurrent use: the market, eviction model and
+// per-job environments are immutable once built, and the lazy env
+// cache is mutex-guarded, so one System can back many concurrent
+// scheduler workers.
 type System struct {
 	opts      Options
 	market    *cloud.Market
 	evictions *cloud.EvictionModel
 	model     *perfmodel.Model
 	configs   []cloud.Config
-	envs      map[JobKind]*core.Env
+
+	mu   sync.Mutex // guards envs
+	envs map[JobKind]*core.Env
 }
 
 // New builds a System: generates the historical and live price traces,
@@ -144,8 +174,11 @@ func New(opts Options) (*System, error) {
 }
 
 // Env returns (building on first use) the provisioning environment for
-// a job.
+// a job. Concurrent callers racing on the first build serialise on the
+// System mutex; the built Env itself is read-only.
 func (s *System) Env(k JobKind) (*core.Env, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e, ok := s.envs[k]; ok {
 		return e, nil
 	}
@@ -200,12 +233,14 @@ func (s *System) Simulate(k JobKind, st Strategy, slackFraction float64, runs in
 	if err != nil {
 		return Result{}, err
 	}
+	if err := ValidateStrategy(st); err != nil {
+		return Result{}, err
+	}
 	runner := &sim.Runner{Env: env}
 	return runner.RunBatch(func() core.Provisioner {
-		p, err := s.Provisioner(k, st)
-		if err != nil {
-			panic(err) // validated above; unreachable
-		}
+		// Job and strategy were both validated above, so Provisioner
+		// cannot fail here.
+		p, _ := s.Provisioner(k, st)
 		return p
 	}, slackFraction, runs, s.opts.Seed+int64(slackFraction*1000))
 }
@@ -242,4 +277,15 @@ func (s *System) Baseline(k JobKind) (units.USD, error) {
 		return 0, err
 	}
 	return sim.Baseline(env), nil
+}
+
+// Horizon returns the usable trace horizon for the job's market —
+// the bound on random start offsets. External schedulers drawing
+// their own offsets (cmd/hourglass-serve) use it to stay on-trace.
+func (s *System) Horizon(k JobKind) (units.Seconds, error) {
+	env, err := s.Env(k)
+	if err != nil {
+		return 0, err
+	}
+	return (&sim.Runner{Env: env}).Horizon(), nil
 }

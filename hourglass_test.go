@@ -1,10 +1,13 @@
 package hourglass_test
 
 import (
+	"math"
+	"sync"
 	"testing"
 
 	"hourglass"
 	"hourglass/internal/cloud"
+	"hourglass/internal/units"
 )
 
 func newSystem(t testing.TB) *hourglass.System {
@@ -61,6 +64,120 @@ func TestProvisionerFactory(t *testing.T) {
 	}
 	if _, err := sys.Provisioner(hourglass.PageRank, hourglass.Strategy("nope")); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestSimulateConcurrent drives one System from many goroutines
+// across all jobs — the scheduler-daemon usage pattern. Run under
+// -race it guards the mutex on the lazy env cache.
+func TestSimulateConcurrent(t *testing.T) {
+	sys := newSystem(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for _, k := range []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC} {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(k hourglass.JobKind) {
+				defer wg.Done()
+				if _, err := sys.Simulate(k, hourglass.StrategyHourglass, 0.5, 3); err != nil {
+					errs <- err
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSimulateRejectsUnknownStrategy(t *testing.T) {
+	sys := newSystem(t)
+	// Must return an error up front — never panic mid-batch.
+	if _, err := sys.Simulate(hourglass.PageRank, hourglass.Strategy("warp-drive"), 0.5, 2); err == nil {
+		t.Error("unknown strategy accepted by Simulate")
+	}
+	if err := hourglass.ValidateStrategy(hourglass.StrategyHourglass); err != nil {
+		t.Errorf("valid strategy rejected: %v", err)
+	}
+	for _, st := range hourglass.Strategies() {
+		if err := hourglass.ValidateStrategy(st); err != nil {
+			t.Errorf("%s rejected: %v", st, err)
+		}
+	}
+}
+
+func TestParseJobKind(t *testing.T) {
+	for _, name := range []string{"sssp", "pagerank", "graphcoloring"} {
+		k, err := hourglass.ParseJobKind(name)
+		if err != nil || string(k) != name {
+			t.Errorf("ParseJobKind(%q) = %q, %v", name, k, err)
+		}
+	}
+	if _, err := hourglass.ParseJobKind("nope"); err == nil {
+		t.Error("unknown job kind parsed")
+	}
+}
+
+func TestDeadlineForMatchesEnv(t *testing.T) {
+	sys := newSystem(t)
+	for _, k := range []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC} {
+		env, err := sys.Env(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, slack := range []float64{0, 0.1, 0.5, 1.0} {
+			got, err := sys.DeadlineFor(k, slack)
+			if err != nil {
+				t.Fatalf("%s slack %v: %v", k, slack, err)
+			}
+			want := env.LRC.Fixed + env.LRC.Exec + units.Seconds(slack*float64(env.LRC.Exec))
+			if math.Abs(float64(got-want)) > 1e-9 {
+				t.Errorf("%s slack %v: deadline %v, want %v", k, slack, got, want)
+			}
+			if got <= 0 {
+				t.Errorf("%s slack %v: non-positive deadline %v", k, slack, got)
+			}
+		}
+	}
+	if _, err := sys.DeadlineFor(hourglass.JobKind("nope"), 0.5); err == nil {
+		t.Error("DeadlineFor accepted unknown job")
+	}
+}
+
+func TestBaselineMatchesLRC(t *testing.T) {
+	sys := newSystem(t)
+	for _, k := range []hourglass.JobKind{hourglass.SSSP, hourglass.PageRank, hourglass.GC} {
+		env, err := sys.Env(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sys.Baseline(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One uninterrupted run on the last-resort config at the
+		// on-demand rate (§8.2 normalisation).
+		want := units.USD(float64(env.LRC.Config.OnDemandRate()) *
+			(float64(env.LRC.Fixed) + float64(env.LRC.Exec)))
+		if math.Abs(float64(base-want)) > 1e-9 {
+			t.Errorf("%s: baseline %v, want %v", k, base, want)
+		}
+	}
+	if _, err := sys.Baseline(hourglass.JobKind("nope")); err == nil {
+		t.Error("Baseline accepted unknown job")
+	}
+}
+
+func TestHorizonPositive(t *testing.T) {
+	sys := newSystem(t)
+	h, err := sys.Horizon(hourglass.PageRank)
+	if err != nil || h <= 0 {
+		t.Errorf("horizon %v, %v", h, err)
+	}
+	if _, err := sys.Horizon(hourglass.JobKind("nope")); err == nil {
+		t.Error("Horizon accepted unknown job")
 	}
 }
 

@@ -343,3 +343,27 @@ func TestBidFactorChangesEvictions(t *testing.T) {
 		t.Log("generous bid eliminated evictions entirely — acceptable")
 	}
 }
+
+func TestDatastoreKeys(t *testing.T) {
+	d := NewDatastore()
+	if got := d.Keys(); len(got) != 0 {
+		t.Fatalf("fresh store has keys %v", got)
+	}
+	d.Put("b", []byte("2"))
+	d.Put("a", []byte("1"))
+	d.Put("c", []byte("3"))
+	got := d.Keys()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("keys %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys %v not sorted as %v", got, want)
+		}
+	}
+	d.Delete("b")
+	if got := d.Keys(); len(got) != 2 {
+		t.Fatalf("after delete: %v", got)
+	}
+}

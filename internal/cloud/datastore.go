@@ -3,6 +3,7 @@ package cloud
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 
 	"hourglass/internal/units"
@@ -88,6 +89,19 @@ func (d *Datastore) ParallelTransferTime(n int, bytesPerNode int64) units.Second
 		perNode = share
 	}
 	return units.Seconds(float64(bytesPerNode) / perNode)
+}
+
+// Keys returns the stored object keys in sorted order (for snapshot
+// inventories and tests).
+func (d *Datastore) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	keys := make([]string, 0, len(d.objects))
+	for k := range d.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // TotalBytes reports the stored volume (for tests and reporting).

@@ -1,0 +1,112 @@
+// Package scheduler is the recurrent-job controller behind
+// cmd/hourglass-serve: a long-running daemon that owns a table of
+// recurring deadline-bound jobs (the paper's §3 workload model —
+// "executed recurrently with a deadline"), fires each recurrence at
+// its scheduled start against the shared market via sim.Runner, and
+// exposes an HTTP control plane with per-job history and Prometheus
+// metrics. The daemon is clock-abstracted so tests drive it on a
+// virtual clock deterministically and instantly.
+package scheduler
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the daemon's notion of time. The controller only ever
+// needs "what time is it" and "wake me at t"; abstracting those two
+// lets the scheduling loop run identically against the wall clock in
+// production and a virtual clock in tests. Until takes an absolute
+// deadline (not a delta) so a virtual clock can register the timer
+// atomically against its own time — a relative API would race with
+// concurrent Advance calls and could park a timer one period late.
+type Clock interface {
+	Now() time.Time
+	// Until returns a channel that receives once the clock reaches t.
+	// A deadline already passed fires immediately.
+	Until(t time.Time) <-chan time.Time
+}
+
+// WallClock is the production clock.
+type WallClock struct{}
+
+// Now returns the wall time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Until defers to time.After.
+func (WallClock) Until(t time.Time) <-chan time.Time {
+	d := time.Until(t)
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- time.Now()
+		return ch
+	}
+	return time.After(d)
+}
+
+// VirtualClock is a manually advanced clock: time only moves when
+// Advance is called, and every timer whose deadline the advance
+// crosses fires in deadline order. It makes the daemon's scheduling
+// loop deterministic and lets a test sweep through days of
+// recurrences in microseconds.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*vtimer
+}
+
+type vtimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Until registers a timer at the absolute virtual instant t.
+func (c *VirtualClock) Until(t time.Time) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if !t.After(c.now) {
+		ch <- c.now
+		return ch
+	}
+	c.timers = append(c.timers, &vtimer{at: t, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline falls within the advance, in deadline order.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.Slice(c.timers, func(i, j int) bool { return c.timers[i].at.Before(c.timers[j].at) })
+	remaining := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- t.at
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	c.timers = remaining
+}
+
+// Pending reports how many timers are armed (for tests).
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}

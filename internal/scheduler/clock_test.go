@@ -1,0 +1,78 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualClockAdvanceFiresTimers(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	a := c.Until(epoch.Add(10 * time.Minute))
+	b := c.Until(epoch.Add(30 * time.Minute))
+
+	c.Advance(5 * time.Minute)
+	select {
+	case <-a:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+
+	c.Advance(5 * time.Minute) // exactly the deadline
+	select {
+	case at := <-a:
+		if !at.Equal(epoch.Add(10 * time.Minute)) {
+			t.Errorf("fired with time %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", c.Pending())
+	}
+
+	c.Advance(time.Hour) // crosses the second deadline
+	select {
+	case <-b:
+	default:
+		t.Fatal("second timer did not fire")
+	}
+}
+
+func TestVirtualClockPastDeadlineFiresImmediately(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	c.Advance(time.Hour)
+	select {
+	case <-c.Until(epoch.Add(30 * time.Minute)):
+	default:
+		t.Fatal("past deadline did not fire immediately")
+	}
+	select {
+	case <-c.Until(c.Now()):
+	default:
+		t.Fatal("now-deadline did not fire immediately")
+	}
+}
+
+func TestVirtualClockNow(t *testing.T) {
+	c := NewVirtualClock(epoch)
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(epoch.Add(90 * time.Second)) {
+		t.Errorf("Now = %v", got)
+	}
+}
+
+func TestWallClockUntil(t *testing.T) {
+	var c WallClock
+	select {
+	case <-c.Until(time.Now().Add(-time.Second)):
+	default:
+		t.Fatal("past wall deadline did not fire immediately")
+	}
+	select {
+	case <-c.Until(time.Now().Add(5 * time.Millisecond)):
+	case <-time.After(2 * time.Second):
+		t.Fatal("short wall timer never fired")
+	}
+}

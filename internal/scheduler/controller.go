@@ -1,0 +1,474 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+	"hourglass/internal/sim"
+	"hourglass/internal/units"
+)
+
+// Backend abstracts the simulation system the controller drives, so
+// tests can substitute a stub and the daemon binds to a shared
+// *hourglass.System.
+type Backend interface {
+	// Admit validates a spec and resolves the per-recurrence relative
+	// deadline, the market trace horizon bounding start offsets, and
+	// the on-demand baseline cost.
+	Admit(spec JobSpec) (deadline, horizon units.Seconds, baseline units.USD, err error)
+	// Run executes one recurrence against the market from the given
+	// trace offset. It must be safe for concurrent use.
+	Run(ctx context.Context, spec JobSpec, start, deadline units.Seconds) (sim.RunResult, error)
+}
+
+// SystemBackend adapts the public hourglass.System (now safe for
+// concurrent use) to the Backend interface.
+type SystemBackend struct {
+	Sys *hourglass.System
+}
+
+// Admit resolves spec-derived constants via the shared System.
+func (b SystemBackend) Admit(spec JobSpec) (units.Seconds, units.Seconds, units.USD, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	deadline, err := b.Sys.DeadlineFor(spec.Kind, spec.Slack)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	horizon, err := b.Sys.Horizon(spec.Kind)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	baseline, err := b.Sys.Baseline(spec.Kind)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return deadline, horizon, baseline, nil
+}
+
+// Run simulates one recurrence with a fresh provisioner (DP wrappers
+// carry latch state, so each recurrence rebuilds).
+func (b SystemBackend) Run(ctx context.Context, spec JobSpec, start, deadline units.Seconds) (sim.RunResult, error) {
+	env, err := b.Sys.Env(spec.Kind)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	prov, err := b.Sys.Provisioner(spec.Kind, spec.Strategy)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	runner := &sim.Runner{Env: env}
+	res, err := runner.RunCtx(ctx, prov, start, deadline)
+	if err != nil {
+		return res, err
+	}
+	// §8.2: reported costs include the offline partitioning phase.
+	res.Cost += env.OfflineCost
+	return res, nil
+}
+
+// Options configure a Controller.
+type Options struct {
+	// Backend executes recurrences (required).
+	Backend Backend
+	// Clock drives the scheduling loop (nil = WallClock).
+	Clock Clock
+	// Workers bounds concurrent recurrences (0 = 4).
+	Workers int
+	// QueueDepth bounds dispatched-but-not-started recurrences
+	// (0 = 64).
+	QueueDepth int
+	// HistoryLimit caps the retained per-job history; aggregates keep
+	// counting past it (0 = 1024).
+	HistoryLimit int
+	// Seed derives deterministic per-recurrence trace offsets.
+	Seed int64
+	// Store, when set, enables state snapshot on shutdown and restore
+	// at construction under SnapshotKey.
+	Store *cloud.Datastore
+	// SnapshotKey names the state object ("" = "scheduler/state.json").
+	SnapshotKey string
+	// Logf receives operational log lines (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+// task is one recurrence handed to the worker pool.
+type task struct {
+	id          string
+	index       int
+	scheduledAt time.Time
+}
+
+// Controller is the recurrent-job daemon: it owns the job table,
+// fires recurrences on schedule, executes them on a bounded worker
+// pool, and snapshots state for restart.
+type Controller struct {
+	backend      Backend
+	clock        Clock
+	seed         int64
+	historyLimit int
+	store        *cloud.Datastore
+	snapshotKey  string
+	logf         func(string, ...any)
+
+	metrics *Metrics
+
+	mu   sync.Mutex
+	jobs map[string]*jobEntry
+	seq  int
+
+	wake     chan struct{}
+	tasks    chan task
+	stop     chan struct{}
+	loopDone chan struct{}
+	workerWG sync.WaitGroup
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds and starts a controller: restores any snapshot in the
+// store, then launches the scheduling loop and worker pool.
+func New(opts Options) (*Controller, error) {
+	if opts.Backend == nil {
+		return nil, fmt.Errorf("scheduler: Options.Backend is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = WallClock{}
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.HistoryLimit <= 0 {
+		opts.HistoryLimit = 1024
+	}
+	if opts.SnapshotKey == "" {
+		opts.SnapshotKey = "scheduler/state.json"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	runCtx, runCancel := context.WithCancel(context.Background())
+	c := &Controller{
+		backend:      opts.Backend,
+		clock:        opts.Clock,
+		seed:         opts.Seed,
+		historyLimit: opts.HistoryLimit,
+		store:        opts.Store,
+		snapshotKey:  opts.SnapshotKey,
+		logf:         opts.Logf,
+		metrics:      NewMetrics(),
+		jobs:         map[string]*jobEntry{},
+		wake:         make(chan struct{}, 1),
+		tasks:        make(chan task, opts.QueueDepth),
+		stop:         make(chan struct{}),
+		loopDone:     make(chan struct{}),
+		runCtx:       runCtx,
+		runCancel:    runCancel,
+	}
+	if c.store != nil && c.store.Exists(c.snapshotKey) {
+		if err := c.restore(); err != nil {
+			runCancel()
+			return nil, fmt.Errorf("scheduler: restoring snapshot: %w", err)
+		}
+	}
+	for i := 0; i < opts.Workers; i++ {
+		c.workerWG.Add(1)
+		go c.worker()
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Metrics exposes the registry (the HTTP layer renders it).
+func (c *Controller) Metrics() *Metrics { return c.metrics }
+
+// Submit admits a job spec, assigns an ID when absent, and schedules
+// its first recurrence immediately.
+func (c *Controller) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	deadline, horizon, baseline, err := c.backend.Admit(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	if spec.ID == "" {
+		c.seq++
+		spec.ID = formatJobID(c.seq)
+	} else if _, exists := c.jobs[spec.ID]; exists {
+		c.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("scheduler: job %q already exists", spec.ID)
+	}
+	e := &jobEntry{
+		spec:     spec,
+		created:  now,
+		nextRun:  now, // first recurrence fires immediately
+		deadline: deadline,
+		horizon:  horizon,
+		baseline: baseline,
+	}
+	c.jobs[spec.ID] = e
+	st := e.status()
+	c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
+	c.mu.Unlock()
+	c.metrics.Inc(MetricJobsSubmitted)
+	c.logf("scheduler: submitted %s (%s/%s slack=%.2f period=%v runs=%d)",
+		spec.ID, spec.Kind, spec.Strategy, spec.Slack, time.Duration(spec.Period), spec.Runs)
+	c.kick()
+	return st, nil
+}
+
+// Delete removes a job. In-flight recurrences finish but are
+// discarded on completion; pending ones are skipped.
+func (c *Controller) Delete(id string) bool {
+	c.mu.Lock()
+	e, ok := c.jobs[id]
+	if ok {
+		e.cancelled = true
+		delete(c.jobs, id)
+		c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
+	}
+	c.mu.Unlock()
+	if ok {
+		c.metrics.Inc(MetricJobsDeleted)
+		c.logf("scheduler: deleted %s", id)
+		c.kick()
+	}
+	return ok
+}
+
+// Get returns one job's status.
+func (c *Controller) Get(id string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return e.status(), true
+}
+
+// List returns every job's status, ordered by ID.
+func (c *Controller) List() []JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobStatus, 0, len(c.jobs))
+	for _, e := range c.jobs {
+		out = append(out, e.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// History returns a copy of a job's retained run records.
+func (c *Controller) History(id string) ([]RunRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]RunRecord(nil), e.history...), true
+}
+
+// Shutdown stops scheduling, drains in-flight recurrences (aborting
+// them if ctx expires first), and writes a state snapshot when a
+// store is configured. Safe to call more than once.
+func (c *Controller) Shutdown(ctx context.Context) error {
+	c.shutdownOnce.Do(func() {
+		close(c.stop)
+		<-c.loopDone
+		close(c.tasks)
+		drained := make(chan struct{})
+		go func() {
+			c.workerWG.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			c.logf("scheduler: drain deadline hit, cancelling in-flight runs")
+			c.runCancel()
+			<-drained
+		}
+		c.runCancel()
+		if c.store != nil {
+			c.shutdownErr = c.Snapshot()
+		}
+		c.logf("scheduler: shut down")
+	})
+	return c.shutdownErr
+}
+
+// kick nudges the scheduling loop to recompute its next wake-up.
+func (c *Controller) kick() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// activeLocked counts not-done jobs; callers hold c.mu.
+func (c *Controller) activeLocked() int {
+	n := 0
+	for _, e := range c.jobs {
+		if !e.done() {
+			n++
+		}
+	}
+	return n
+}
+
+// loop is the scheduling goroutine: dispatch everything due, then
+// sleep until the earliest next recurrence (or a wake/stop signal).
+func (c *Controller) loop() {
+	defer close(c.loopDone)
+	for {
+		due, next, hasNext := c.collectDue()
+		for _, t := range due {
+			select {
+			case c.tasks <- t:
+			case <-c.stop:
+				return
+			}
+		}
+		if len(due) > 0 {
+			// Time may have moved while blocked on the queue; rescan.
+			continue
+		}
+		var timer <-chan time.Time
+		if hasNext {
+			timer = c.clock.Until(next)
+		}
+		select {
+		case <-c.stop:
+			return
+		case <-c.wake:
+		case <-timer:
+		}
+	}
+}
+
+// collectDue advances every due job's schedule, returning the tasks
+// to dispatch and the earliest future recurrence time. A job whose
+// schedule fell behind (daemon restart, long advance of a virtual
+// clock) catches up: every missed recurrence is dispatched.
+func (c *Controller) collectDue() (due []task, next time.Time, hasNext bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.jobs {
+		for !e.cancelled && !e.exhausted() && !e.nextRun.After(now) {
+			due = append(due, task{id: e.spec.ID, index: e.dispatched, scheduledAt: e.nextRun})
+			e.dispatched++
+			e.nextRun = e.nextRun.Add(time.Duration(e.spec.Period))
+		}
+		if !e.cancelled && !e.exhausted() {
+			if !hasNext || e.nextRun.Before(next) {
+				next, hasNext = e.nextRun, true
+			}
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].scheduledAt.Equal(due[j].scheduledAt) {
+			return due[i].scheduledAt.Before(due[j].scheduledAt)
+		}
+		return due[i].id < due[j].id
+	})
+	return due, next, hasNext
+}
+
+// worker executes recurrences until the task channel closes.
+func (c *Controller) worker() {
+	defer c.workerWG.Done()
+	for t := range c.tasks {
+		c.execute(t)
+	}
+}
+
+// execute runs one recurrence and records its outcome.
+func (c *Controller) execute(t task) {
+	c.mu.Lock()
+	e, ok := c.jobs[t.id]
+	if !ok || e.cancelled {
+		c.mu.Unlock()
+		return
+	}
+	spec, deadline, horizon, baseline := e.spec, e.deadline, e.horizon, e.baseline
+	c.mu.Unlock()
+
+	c.metrics.Inc(MetricRunsStarted)
+	offset := offsetFor(c.seed, t.id, t.index, horizon)
+	startedAt := c.clock.Now()
+	wallStart := time.Now()
+	res, err := c.backend.Run(c.runCtx, spec, offset, offset+deadline)
+	wall := time.Since(wallStart).Seconds()
+
+	rec := RunRecord{
+		Index:          t.index,
+		ScheduledAt:    t.scheduledAt,
+		StartedAt:      startedAt,
+		FinishedAt:     c.clock.Now(),
+		Offset:         float64(offset),
+		WallSeconds:    wall,
+		Cost:           float64(res.Cost),
+		Finished:       res.Finished,
+		MissedDeadline: res.MissedDeadline,
+		Evictions:      res.Evictions,
+		Reconfigs:      res.Reconfigs,
+		Checkpoints:    res.Checkpoints,
+		Decisions:      res.Decisions,
+	}
+	if baseline > 0 {
+		rec.NormCost = float64(res.Cost) / float64(baseline)
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		c.metrics.Inc(MetricRunsFailed)
+		c.logf("scheduler: %s run %d failed: %v", t.id, t.index, err)
+	} else {
+		c.metrics.Inc(MetricRunsFinished)
+		if rec.MissedDeadline || !rec.Finished {
+			c.metrics.Inc(MetricRunsMissed)
+		}
+	}
+	c.metrics.ObserveRunSeconds(wall)
+	c.metrics.Add(MetricEvictions, float64(rec.Evictions))
+	c.metrics.Add(MetricReconfigs, float64(rec.Reconfigs))
+	c.metrics.Add(MetricDecisions, float64(rec.Decisions))
+	c.metrics.Add(MetricCostUSD, rec.Cost)
+	c.metrics.Add(MetricBaselineUSD, float64(baseline))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok = c.jobs[t.id] // the job may have been deleted mid-run
+	if !ok || e.cancelled {
+		return
+	}
+	e.completed++
+	e.agg.observe(rec, baseline)
+	e.history = append(e.history, rec)
+	if len(e.history) > c.historyLimit {
+		e.history = e.history[len(e.history)-c.historyLimit:]
+	}
+	if e.done() {
+		c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
+		c.logf("scheduler: %s completed all %d runs (norm cost %.2f×OD, %d missed)",
+			t.id, e.completed, e.agg.MeanNormCost, e.agg.Missed)
+	}
+}

@@ -1,0 +1,110 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's control plane:
+//
+//	POST   /jobs              submit a JobSpec, returns its JobStatus
+//	GET    /jobs              list all jobs
+//	GET    /jobs/{id}         one job's status
+//	DELETE /jobs/{id}         remove a job
+//	GET    /jobs/{id}/history the job's run records
+//	GET    /healthz           liveness probe
+//	GET    /metrics           Prometheus text exposition
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", c.handleSubmit)
+	mux.HandleFunc("GET /jobs", c.handleList)
+	mux.HandleFunc("GET /jobs/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", c.handleDelete)
+	mux.HandleFunc("GET /jobs/{id}/history", c.handleHistory)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := c.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (c *Controller) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.List())
+}
+
+func (c *Controller) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.Get(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Controller) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !c.Delete(r.PathValue("id")) {
+		http.NotFound(w, r)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Controller) handleHistory(w http.ResponseWriter, r *http.Request) {
+	hist, ok := c.History(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if hist == nil {
+		hist = []RunRecord{}
+	}
+	writeJSON(w, http.StatusOK, hist)
+}
+
+func (c *Controller) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	jobs, active := len(c.jobs), c.activeLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   jobs,
+		"active": active,
+		"now":    c.clock.Now(),
+	})
+}
+
+func (c *Controller) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = c.metrics.WriteTo(w)
+}

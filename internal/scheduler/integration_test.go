@@ -1,0 +1,344 @@
+package scheduler_test
+
+// The ISSUE-1 acceptance test: boot the daemon on a virtual clock,
+// submit recurrent jobs over HTTP, advance time through three
+// recurrences each, and assert histories, metrics, graceful shutdown
+// and the snapshot/restore round trip — all against the real
+// hourglass.System and market.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+	"hourglass/internal/scheduler"
+)
+
+func mustJSON(t *testing.T, resp *http.Response, wantCode int, into any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("status %d (want %d): %s", resp.StatusCode, wantCode, buf.String())
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func postJob(t *testing.T, base string, spec string) scheduler.JobStatus {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st scheduler.JobStatus
+	mustJSON(t, resp, http.StatusCreated, &st)
+	return st
+}
+
+func getHistory(t *testing.T, base, id string) []scheduler.RunRecord {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []scheduler.RunRecord
+	mustJSON(t, resp, http.StatusOK, &hist)
+	return hist
+}
+
+func waitHistoryLen(t *testing.T, base, id string, n int) []scheduler.RunRecord {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if hist := getHistory(t, base, id); len(hist) >= n {
+			return hist
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %d history entries (have %d)",
+		id, n, len(getHistory(t, base, id)))
+	return nil
+}
+
+// metricValue scrapes one sample from the Prometheus exposition.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, buf.String())
+	return 0
+}
+
+func TestDaemonIntegration(t *testing.T) {
+	sys, err := hourglass.New(hourglass.Options{Seed: 11, TraceDays: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := scheduler.NewVirtualClock(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC))
+	store := cloud.NewDatastore()
+	newController := func() *scheduler.Controller {
+		c, err := scheduler.New(scheduler.Options{
+			Backend: scheduler.SystemBackend{Sys: sys},
+			Clock:   vc,
+			Workers: 3,
+			Seed:    11,
+			Store:   store,
+			Logf:    t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ctrl := newController()
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	// Health before anything else.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	mustJSON(t, resp, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	// Two recurrent jobs, different kinds and strategies, same period
+	// so one clock sweep drives both.
+	pr := postJob(t, srv.URL,
+		`{"kind":"pagerank","strategy":"hourglass","slack":0.6,"period":"30m","runs":3}`)
+	ss := postJob(t, srv.URL,
+		`{"kind":"sssp","strategy":"ondemand","slack":0.5,"period":"30m","runs":3}`)
+	if pr.Spec.ID == ss.Spec.ID {
+		t.Fatalf("duplicate IDs issued: %s", pr.Spec.ID)
+	}
+
+	// A bad spec is rejected at admission, not mid-batch.
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"pagerank","strategy":"warp-drive","slack":0.5,"period":"30m"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON(t, resp, http.StatusBadRequest, nil)
+
+	// Recurrence 1 fires at submit; advance the virtual clock through
+	// two more periods for three recurrences each.
+	waitHistoryLen(t, srv.URL, pr.Spec.ID, 1)
+	waitHistoryLen(t, srv.URL, ss.Spec.ID, 1)
+	vc.Advance(30 * time.Minute)
+	waitHistoryLen(t, srv.URL, pr.Spec.ID, 2)
+	waitHistoryLen(t, srv.URL, ss.Spec.ID, 2)
+	vc.Advance(30 * time.Minute)
+	prHist := waitHistoryLen(t, srv.URL, pr.Spec.ID, 3)
+	ssHist := waitHistoryLen(t, srv.URL, ss.Spec.ID, 3)
+
+	if len(prHist) != 3 || len(ssHist) != 3 {
+		t.Fatalf("history lengths %d/%d, want 3/3", len(prHist), len(ssHist))
+	}
+	for _, hist := range [][]scheduler.RunRecord{prHist, ssHist} {
+		for _, rec := range hist {
+			if rec.Error != "" || !rec.Finished {
+				t.Errorf("recurrence failed: %+v", rec)
+			}
+			if rec.Cost <= 0 || rec.NormCost <= 0 {
+				t.Errorf("no cost recorded: %+v", rec)
+			}
+		}
+	}
+
+	// Per-job status: both exhausted and done.
+	var prStatus scheduler.JobStatus
+	resp, err = http.Get(srv.URL + "/jobs/" + pr.Spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON(t, resp, http.StatusOK, &prStatus)
+	if !prStatus.Done || prStatus.Completed != 3 || prStatus.NextRun != nil {
+		t.Errorf("pagerank status: %+v", prStatus)
+	}
+	if prStatus.Agg.MeanNormCost <= 0 || prStatus.Agg.MeanNormCost >= 1 {
+		t.Errorf("hourglass strategy should beat the on-demand baseline: norm %.3f",
+			prStatus.Agg.MeanNormCost)
+	}
+
+	// Control-plane list and metrics counters.
+	var list []scheduler.JobStatus
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON(t, resp, http.StatusOK, &list)
+	if len(list) != 2 {
+		t.Fatalf("job list has %d entries", len(list))
+	}
+	if v := metricValue(t, srv.URL, "hourglass_runs_started_total"); v != 6 {
+		t.Errorf("runs started %v, want 6", v)
+	}
+	if v := metricValue(t, srv.URL, "hourglass_runs_finished_total"); v != 6 {
+		t.Errorf("runs finished %v, want 6", v)
+	}
+	if v := metricValue(t, srv.URL, "hourglass_deadline_missed_total"); v != 0 {
+		t.Errorf("deadline misses %v, want 0", v)
+	}
+	if v := metricValue(t, srv.URL, "hourglass_cost_usd_total"); v <= 0 {
+		t.Errorf("cost total %v", v)
+	}
+	if v := metricValue(t, srv.URL, "hourglass_jobs_active"); v != 0 {
+		t.Errorf("active gauge %v, want 0 (both jobs done)", v)
+	}
+	if v := metricValue(t, srv.URL, "hourglass_run_duration_seconds_count"); v != 6 {
+		t.Errorf("latency histogram count %v, want 6", v)
+	}
+
+	// Graceful shutdown writes the snapshot.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ctrl.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !store.Exists("scheduler/state.json") {
+		t.Fatal("no snapshot in the datastore after shutdown")
+	}
+
+	// Restore: a fresh daemon over the same store resumes the table.
+	ctrl2 := newController()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = ctrl2.Shutdown(ctx)
+	}()
+	srv2 := httptest.NewServer(ctrl2.Handler())
+	defer srv2.Close()
+
+	var restored []scheduler.JobStatus
+	resp, err = http.Get(srv2.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustJSON(t, resp, http.StatusOK, &restored)
+	if len(restored) != 2 {
+		t.Fatalf("restored %d jobs, want 2", len(restored))
+	}
+	for _, st := range restored {
+		if !st.Done || st.Completed != 3 {
+			t.Errorf("restored job %s: %+v", st.Spec.ID, st)
+		}
+	}
+	h := waitHistoryLen(t, srv2.URL, pr.Spec.ID, 3)
+	if len(h) != 3 {
+		t.Fatalf("restored history length %d", len(h))
+	}
+	// Restored runs replay identical trace offsets (index-derived, not
+	// order-derived).
+	for i := range h {
+		if h[i].Offset != prHist[i].Offset {
+			t.Errorf("recurrence %d offset drifted across restore: %v vs %v",
+				i, h[i].Offset, prHist[i].Offset)
+		}
+	}
+	// And DELETE works on the restored table.
+	req, _ := http.NewRequest(http.MethodDelete, srv2.URL+"/jobs/"+ss.Spec.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv2.URL + "/jobs/" + ss.Spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted job still served: %d", resp.StatusCode)
+	}
+}
+
+// TestDaemonConcurrentJobsShareOneSystem exercises the concurrency
+// fix on hourglass.System: many jobs of all three kinds running on
+// overlapping workers against a single System (run under -race).
+func TestDaemonConcurrentJobsShareOneSystem(t *testing.T) {
+	sys, err := hourglass.New(hourglass.Options{Seed: 3, TraceDays: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := scheduler.NewVirtualClock(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC))
+	ctrl, err := scheduler.New(scheduler.Options{
+		Backend: scheduler.SystemBackend{Sys: sys},
+		Clock:   vc,
+		Workers: 8,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = ctrl.Shutdown(ctx)
+	}()
+
+	kinds := []hourglass.JobKind{hourglass.PageRank, hourglass.SSSP, hourglass.GC}
+	ids := make([]string, 6)
+	for i := range ids {
+		st, err := ctrl.Submit(scheduler.JobSpec{
+			Kind:     kinds[i%len(kinds)],
+			Strategy: hourglass.StrategyHourglass,
+			Slack:    0.5,
+			Period:   scheduler.Duration(20 * time.Minute),
+			Runs:     2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.Spec.ID
+	}
+	vc.Advance(20 * time.Minute)
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range ids {
+		for {
+			st, ok := ctrl.Get(id)
+			if ok && st.Completed == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck: %+v", id, st)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+	if v := ctrl.Metrics().Value(scheduler.MetricRunsFailed); v != 0 {
+		t.Fatalf("%v failed runs", v)
+	}
+}

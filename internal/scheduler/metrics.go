@@ -1,0 +1,182 @@
+package scheduler
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Metrics is the daemon's instrumentation: monotonically increasing
+// counters, one gauge, and a latency histogram, all exposed in
+// Prometheus text format on /metrics. It is dependency-free by
+// design — the container must not grow a client_golang dependency —
+// and safe for concurrent observation.
+type Metrics struct {
+	mu sync.Mutex
+
+	counters map[string]float64
+	gauges   map[string]float64
+
+	// run wall-time histogram (decision latency per recurrence).
+	buckets []float64 // upper bounds, seconds
+	counts  []uint64  // cumulative per bucket is derived at render
+	sum     float64
+	total   uint64
+}
+
+// Counter and gauge names. Keeping them as constants documents the
+// exposition surface in one place.
+const (
+	MetricJobsSubmitted = "hourglass_jobs_submitted_total"
+	MetricJobsDeleted   = "hourglass_jobs_deleted_total"
+	MetricJobsActive    = "hourglass_jobs_active"
+	MetricRunsStarted   = "hourglass_runs_started_total"
+	MetricRunsFinished  = "hourglass_runs_finished_total"
+	MetricRunsFailed    = "hourglass_runs_failed_total"
+	MetricRunsMissed    = "hourglass_deadline_missed_total"
+	MetricEvictions     = "hourglass_evictions_total"
+	MetricReconfigs     = "hourglass_reconfigs_total"
+	MetricDecisions     = "hourglass_decisions_total"
+	MetricCostUSD       = "hourglass_cost_usd_total"
+	MetricBaselineUSD   = "hourglass_baseline_usd_total"
+	MetricSnapshots     = "hourglass_snapshots_total"
+	metricRunSeconds    = "hourglass_run_duration_seconds"
+)
+
+var metricHelp = map[string]string{
+	MetricJobsSubmitted: "Recurrent job specs accepted by the control plane.",
+	MetricJobsDeleted:   "Jobs removed via DELETE /jobs/{id}.",
+	MetricJobsActive:    "Jobs currently in the table and not done.",
+	MetricRunsStarted:   "Recurrences handed to the worker pool.",
+	MetricRunsFinished:  "Recurrences that completed simulation.",
+	MetricRunsFailed:    "Recurrences that returned an error.",
+	MetricRunsMissed:    "Recurrences that missed their deadline.",
+	MetricEvictions:     "Spot evictions suffered across all recurrences.",
+	MetricReconfigs:     "Deployment reconfigurations across all recurrences.",
+	MetricDecisions:     "Provisioner decisions across all recurrences.",
+	MetricCostUSD:       "Cumulative simulated spend (USD).",
+	MetricBaselineUSD:   "Cumulative on-demand baseline spend (USD).",
+	MetricSnapshots:     "State snapshots written to the datastore.",
+	metricRunSeconds:    "Wall-clock latency of one recurrence (simulation + decisions).",
+}
+
+// NewMetrics builds a registry with every named counter pre-registered
+// at zero (so scrapes see the full surface before any event) and
+// latency buckets spanning sub-millisecond simulations to multi-second
+// decision storms.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		buckets:  []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10},
+		counts:   make([]uint64, 10),
+	}
+	for _, name := range []string{
+		MetricJobsSubmitted, MetricJobsDeleted, MetricRunsStarted,
+		MetricRunsFinished, MetricRunsFailed, MetricRunsMissed,
+		MetricEvictions, MetricReconfigs, MetricDecisions,
+		MetricCostUSD, MetricBaselineUSD, MetricSnapshots,
+	} {
+		m.counters[name] = 0
+	}
+	m.gauges[MetricJobsActive] = 0
+	return m
+}
+
+// Add increments a counter by delta.
+func (m *Metrics) Add(name string, delta float64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Inc increments a counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// SetGauge records an instantaneous value.
+func (m *Metrics) SetGauge(name string, v float64) {
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// ObserveRunSeconds records one recurrence latency into the histogram.
+func (m *Metrics) ObserveRunSeconds(s float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sum += s
+	m.total++
+	for i, ub := range m.buckets {
+		if s <= ub {
+			m.counts[i]++
+			return
+		}
+	}
+	m.counts[len(m.buckets)]++ // +Inf overflow bucket
+}
+
+// Value reads a counter (for tests).
+func (m *Metrics) Value(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.counters[name]; ok {
+		return v
+	}
+	return m.gauges[name]
+}
+
+// WriteTo renders the registry in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	emit := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	names := make([]string, 0, len(m.counters)+len(m.gauges))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	for name := range m.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		kind, v := "counter", m.counters[name]
+		if gv, ok := m.gauges[name]; ok {
+			kind, v = "gauge", gv
+		}
+		if help := metricHelp[name]; help != "" {
+			if err := emit("# HELP %s %s\n", name, help); err != nil {
+				return n, err
+			}
+		}
+		if err := emit("# TYPE %s %s\n%s %s\n", name, kind, name, fmtFloat(v)); err != nil {
+			return n, err
+		}
+	}
+	// Histogram block.
+	if err := emit("# HELP %s %s\n# TYPE %s histogram\n",
+		metricRunSeconds, metricHelp[metricRunSeconds], metricRunSeconds); err != nil {
+		return n, err
+	}
+	var cum uint64
+	for i, ub := range m.buckets {
+		cum += m.counts[i]
+		if err := emit("%s_bucket{le=\"%s\"} %d\n", metricRunSeconds, fmtFloat(ub), cum); err != nil {
+			return n, err
+		}
+	}
+	cum += m.counts[len(m.buckets)]
+	if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		metricRunSeconds, cum, metricRunSeconds, fmtFloat(m.sum), metricRunSeconds, cum); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,101 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// snapshotState is the JSON document persisted to the datastore: the
+// whole job table plus the ID sequence, enough for a restarted daemon
+// to resume scheduling exactly where it stopped. In-flight
+// recurrences are not persisted — a restore re-dispatches them
+// (dispatched is reset to completed), and the deterministic offset
+// derivation replays them against the same trace window.
+type snapshotState struct {
+	SavedAt time.Time     `json:"savedAt"`
+	Seq     int           `json:"seq"`
+	Jobs    []snapshotJob `json:"jobs"`
+}
+
+type snapshotJob struct {
+	Spec      JobSpec     `json:"spec"`
+	Created   time.Time   `json:"created"`
+	NextRun   time.Time   `json:"nextRun"`
+	Completed int         `json:"completed"`
+	History   []RunRecord `json:"history"`
+	Agg       Aggregates  `json:"aggregates"`
+}
+
+// Snapshot serialises the job table to the configured datastore key.
+func (c *Controller) Snapshot() error {
+	if c.store == nil {
+		return fmt.Errorf("scheduler: no snapshot store configured")
+	}
+	c.mu.Lock()
+	state := snapshotState{SavedAt: c.clock.Now(), Seq: c.seq}
+	for _, e := range c.jobs {
+		// Rewind the schedule over dispatched-but-unfinished
+		// recurrences: a restore resets dispatched to completed, so
+		// the rewound nextRun makes collectDue re-dispatch the lost
+		// runs at their original indices (and, offsets being
+		// index-derived, against their original trace windows).
+		pending := e.dispatched - e.completed
+		nextRun := e.nextRun.Add(-time.Duration(pending) * time.Duration(e.spec.Period))
+		state.Jobs = append(state.Jobs, snapshotJob{
+			Spec:      e.spec,
+			Created:   e.created,
+			NextRun:   nextRun,
+			Completed: e.completed,
+			History:   append([]RunRecord(nil), e.history...),
+			Agg:       e.agg,
+		})
+	}
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(state, "", "  ")
+	if err != nil {
+		return err
+	}
+	c.store.Put(c.snapshotKey, data)
+	c.metrics.Inc(MetricSnapshots)
+	c.logf("scheduler: snapshot %s (%d jobs, %d bytes)", c.snapshotKey, len(state.Jobs), len(data))
+	return nil
+}
+
+// restore loads a snapshot into an empty controller (called from New
+// before the loop starts, so no locking hazards). Every spec is
+// re-admitted through the backend so deadline/horizon/baseline come
+// from the live market, not the snapshot.
+func (c *Controller) restore() error {
+	data, _, err := c.store.Get(c.snapshotKey)
+	if err != nil {
+		return err
+	}
+	var state snapshotState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return err
+	}
+	c.seq = state.Seq
+	for _, sj := range state.Jobs {
+		deadline, horizon, baseline, err := c.backend.Admit(sj.Spec)
+		if err != nil {
+			return fmt.Errorf("re-admitting %s: %w", sj.Spec.ID, err)
+		}
+		c.jobs[sj.Spec.ID] = &jobEntry{
+			spec:       sj.Spec,
+			created:    sj.Created,
+			nextRun:    sj.NextRun,
+			deadline:   deadline,
+			horizon:    horizon,
+			baseline:   baseline,
+			dispatched: sj.Completed, // in-flight runs are re-dispatched
+			completed:  sj.Completed,
+			history:    sj.History,
+			agg:        sj.Agg,
+		}
+	}
+	c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
+	c.logf("scheduler: restored %d jobs from %s (saved %v)",
+		len(state.Jobs), c.snapshotKey, state.SavedAt)
+	return nil
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -57,6 +58,13 @@ type Runner struct {
 // deadline. The provisioner is consulted at the start, at every
 // checkpoint boundary and after every eviction (§4).
 func (r *Runner) Run(prov core.Provisioner, start, deadline units.Seconds) (RunResult, error) {
+	return r.RunCtx(context.Background(), prov, start, deadline)
+}
+
+// RunCtx is Run with cancellation: the simulation aborts between
+// decisions once ctx is done, so a long-running caller (the scheduler
+// daemon) can abandon an in-flight run without waiting it out.
+func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadline units.Seconds) (RunResult, error) {
 	maxDecisions := r.MaxDecisions
 	if maxDecisions == 0 {
 		maxDecisions = 100_000
@@ -88,6 +96,9 @@ func (r *Runner) Run(prov core.Provisioner, start, deadline units.Seconds) (RunR
 		res.Decisions++
 		if res.Decisions > maxDecisions {
 			return res, fmt.Errorf("sim: exceeded %d decisions (provisioner livelock?)", maxDecisions)
+		}
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("sim: run cancelled after %d decisions: %w", res.Decisions, err)
 		}
 		// Ask the provisioner what to run next.
 		var curCfg *cloud.Config
@@ -392,6 +403,10 @@ func (r *Runner) RunBatch(provFactory func() core.Provisioner, slackFraction flo
 	}
 	return agg, nil
 }
+
+// Horizon exposes the trace horizon to external schedulers that draw
+// their own start offsets (cmd/hourglass-serve).
+func (r *Runner) Horizon() units.Seconds { return r.traceHorizon() }
 
 // traceHorizon returns the shortest trace duration in the market,
 // bounding random start offsets.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"hourglass/internal/cloud"
@@ -260,5 +262,35 @@ func TestRelaxedStrategyRuns(t *testing.T) {
 	}
 	if batch.MeanNormCost > strict.MeanNormCost*1.1 {
 		t.Errorf("relaxed %.3f costlier than strict %.3f", batch.MeanNormCost, strict.MeanNormCost)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	r := &Runner{Env: env}
+
+	// A pre-cancelled context aborts before any work is simulated.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := r.RunCtx(ctx, core.NewSlackAware(env), 0, deadlineFor(env, 0.5))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v (err=%v)", res, err)
+	}
+	if res.Finished {
+		t.Error("cancelled run reported Finished")
+	}
+
+	// A live context leaves Run unchanged.
+	res, err = r.RunCtx(context.Background(), core.NewSlackAware(env), 0, deadlineFor(env, 0.5))
+	if err != nil || !res.Finished {
+		t.Errorf("uncancelled run: %+v, %v", res, err)
+	}
+}
+
+func TestHorizonExported(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	r := &Runner{Env: env}
+	if h := r.Horizon(); h <= 0 {
+		t.Errorf("horizon %v", h)
 	}
 }
