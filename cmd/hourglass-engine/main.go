@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"time"
 
@@ -23,19 +26,31 @@ import (
 	"hourglass/internal/units"
 )
 
+// stopProfiling flushes any active profiles; fatal() calls it so
+// profiles survive error exits.
+var stopProfiling = func() {}
+
 func main() {
 	var (
-		app     = flag.String("app", "pagerank", "pagerank | sssp | bfs | wcc | coloring | labelprop | kcore | triangles | degree")
-		dataset = flag.String("dataset", "orkut", "Table 2 dataset name")
-		scale   = flag.Float64("scale", 0.1, "dataset scale factor")
-		workers = flag.Int("workers", 8, "worker goroutines")
-		iters   = flag.Int("iters", 30, "iterations (pagerank/labelprop)")
-		k       = flag.Int("k", 3, "K for kcore")
-		source  = flag.Int("source", 0, "source vertex (sssp/bfs)")
-		durable = flag.Bool("durable", false, "checkpoint every 4 supersteps to the datastore and resume on half the workers")
-		usePart = flag.Bool("partitioned", true, "assign vertices via micro-partitioning instead of hashing")
+		app        = flag.String("app", "pagerank", "pagerank | sssp | bfs | wcc | coloring | labelprop | kcore | triangles | degree")
+		dataset    = flag.String("dataset", "orkut", "Table 2 dataset name")
+		scale      = flag.Float64("scale", 0.1, "dataset scale factor")
+		workers    = flag.Int("workers", 8, "worker goroutines")
+		iters      = flag.Int("iters", 30, "iterations (pagerank/labelprop)")
+		k          = flag.Int("k", 3, "K for kcore")
+		source     = flag.Int("source", 0, "source vertex (sssp/bfs)")
+		durable    = flag.Bool("durable", false, "checkpoint every 4 supersteps to the datastore and resume on half the workers")
+		usePart    = flag.Bool("partitioned", true, "assign vertices via micro-partitioning instead of hashing")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime/trace to this file")
 	)
 	flag.Parse()
+
+	if err := startProfiling(*cpuprofile, *memprofile, *traceFile); err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
 
 	d, err := graph.ByName(*dataset)
 	if err != nil {
@@ -166,7 +181,59 @@ func summarize(app string, g *graph.Graph, values []float64) {
 	}
 }
 
+// startProfiling wires the standard pprof/trace outputs so engine hot
+// paths can be profiled without writing a test harness:
+//
+//	hourglass-engine -app sssp -cpuprofile cpu.pb.gz -memprofile mem.pb.gz -trace trace.out
+func startProfiling(cpu, mem, traceOut string) error {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return err
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hourglass-engine: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live allocations, not GC garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hourglass-engine: memprofile:", err)
+			}
+		})
+	}
+	stopProfiling = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		stopProfiling = func() {}
+	}
+	return nil
+}
+
 func fatal(err error) {
+	stopProfiling()
 	fmt.Fprintln(os.Stderr, "hourglass-engine:", err)
 	os.Exit(1)
 }

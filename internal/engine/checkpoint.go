@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"hourglass/internal/graph"
 )
@@ -28,7 +29,12 @@ type Snapshot struct {
 	Aux []byte
 }
 
-// snapshot captures the current barrier state of a run.
+// snapshot captures the current barrier state of a run. Pending holds
+// the delivered-but-unconsumed inbox: with a combiner that is the one
+// folded value per messaged vertex (checkpoints shrink accordingly);
+// otherwise the vertex's arena slice in arrival order. Entries are
+// sorted by destination so the wire layout matches the historical
+// vertex-ascending order.
 func (r *run) snapshot() (*Snapshot, error) {
 	s := &Snapshot{
 		Program:     r.prog.Name(),
@@ -38,11 +44,21 @@ func (r *run) snapshot() (*Snapshot, error) {
 		Active:      append([]bool(nil), r.active...),
 		AggValues:   map[string]float64{},
 	}
-	for v, msgs := range r.inbox {
-		for _, m := range msgs {
-			s.Pending = append(s.Pending, Message{graph.VertexID(v), m})
+	for _, w := range r.workers {
+		for _, v := range w.cur {
+			if r.comb != nil {
+				if r.inSet[v] {
+					s.Pending = append(s.Pending, Message{v, r.inVal[v]})
+				}
+			} else if n := r.msgLen[v]; n > 0 {
+				end := r.msgEnd[v]
+				for _, val := range w.arena[end-n : end] {
+					s.Pending = append(s.Pending, Message{v, val})
+				}
+			}
 		}
 	}
+	sort.SliceStable(s.Pending, func(i, j int) bool { return s.Pending[i].Dst < s.Pending[j].Dst })
 	for name, agg := range r.aggs {
 		s.AggValues[name] = agg.value
 	}

@@ -2,12 +2,37 @@
 // engine — the stand-in for Apache Giraph in the paper's prototype
 // (§7). Vertices hold a float64 value, exchange float64 messages in
 // synchronous supersteps, and vote to halt; workers are goroutines
-// that own partitions of the vertex space and exchange messages
-// through per-worker staging buffers at superstep barriers. The engine
-// supports combiners, aggregators, per-program auxiliary state, and
+// that own partitions of the vertex space. The engine supports
+// combiners, aggregators, per-program auxiliary state, and
 // whole-computation checkpoints that can be restored under a
 // *different* worker count/partitioning — the property Hourglass's
 // fast-reload recovery relies on.
+//
+// # Message plane
+//
+// The superstep hot path is allocation-free after warm-up and its cost
+// is proportional to the number of active vertices, not to the graph:
+//
+//   - Combiner programs fold messages at Send time: each worker owns a
+//     dense per-destination slot (value + presence flag), so a
+//     destination vertex carries at most one staged value per worker
+//     and delivery is a merge of the touched slots, sharded by the
+//     destination's owner. No per-message or per-vertex list is ever
+//     materialised.
+//   - Non-combiner programs go through pooled per-destination-worker
+//     outboxes; delivery counting-sorts each worker's incoming
+//     messages into a reusable flat arena, and Compute receives
+//     sub-slices of that arena in the exact arrival order the old
+//     append-based inboxes produced.
+//   - Active worklists replace the O(V) liveness scan: a vertex is
+//     enqueued for the next superstep once, either when it stays
+//     active after Compute or when its first message arrives, so
+//     frontier algorithms (SSSP, BFS, WCC tails) pay only for the
+//     frontier.
+//
+// Presence flags are []bool rather than packed bit sets so that
+// delivery shards can clear a sender's slots for their own vertex
+// range without sharing words across goroutines.
 package engine
 
 import (
@@ -47,15 +72,30 @@ func (c *Context) Value(v graph.VertexID) float64 { return c.w.run.values[v] }
 // must only set values of the vertex currently being computed.
 func (c *Context) SetValue(v graph.VertexID, x float64) { c.w.run.values[v] = x }
 
-// Send delivers a message to dst at the next superstep.
+// Send delivers a message to dst at the next superstep. With a
+// combiner the message is folded into the worker's dense slot for dst
+// immediately; otherwise it is staged in the pooled outbox of dst's
+// owner. Either way the logical send is counted, so Stats.MessagesSent
+// (and the perfmodel calibration inputs derived from it) are
+// independent of the transport.
 func (c *Context) Send(dst graph.VertexID, val float64) {
-	r := c.w.run
-	w := r.owner[dst]
-	buf := &c.w.outbox[w]
-	*buf = append(*buf, Message{dst, val})
-	c.w.sent++
-	if int(w) != c.w.id {
-		c.w.remote++
+	w := c.w
+	r := w.run
+	ow := r.owner[dst]
+	if r.comb != nil {
+		if w.accSet[dst] {
+			w.accVal[dst] = r.comb.Combine(w.accVal[dst], val)
+		} else {
+			w.accSet[dst] = true
+			w.accVal[dst] = val
+			w.staged[ow] = append(w.staged[ow], dst)
+		}
+	} else {
+		w.outbox[ow] = append(w.outbox[ow], Message{dst, val})
+	}
+	w.sent++
+	if int(ow) != w.id {
+		w.remote++
 	}
 }
 
@@ -102,11 +142,16 @@ type Program interface {
 	Init(g *graph.Graph, v graph.VertexID) (value float64, active bool)
 	// Compute processes the messages delivered to v this superstep. It
 	// runs only for vertices that are active or have incoming messages.
+	// The msgs slice aliases engine-owned buffers and is only valid for
+	// the duration of the call.
 	Compute(ctx *Context, v graph.VertexID, msgs []float64)
 }
 
 // Combiner optionally merges messages addressed to the same vertex,
-// cutting memory and exchange volume (Pregel's combiner).
+// cutting memory and exchange volume (Pregel's combiner). Combine must
+// be commutative and associative; programs whose Compute inspects
+// individual messages (rather than a fold of them) must not implement
+// it.
 type Combiner interface {
 	Combine(a, b float64) float64
 }
@@ -198,11 +243,20 @@ type run struct {
 	prog    Program
 	values  []float64
 	active  []bool
-	inbox   [][]float64 // per vertex, messages for the current superstep
-	owner   []int32     // vertex -> worker
+	queued  []bool  // v is already on a next-superstep worklist
+	owner   []int32 // vertex -> worker
 	aggs    map[string]*aggregator
 	workers []*worker
 	comb    Combiner
+
+	// Combiner-path inbox: at most one folded value per vertex.
+	inVal []float64
+	inSet []bool
+
+	// Non-combiner inbox: per-vertex views into the owner's arena.
+	// Vertex v's messages live at arena[msgEnd[v]-msgLen[v]:msgEnd[v]].
+	msgEnd []int32
+	msgLen []int32
 
 	superstep int
 	sent      int64
@@ -214,10 +268,25 @@ type run struct {
 }
 
 type worker struct {
-	run      *run
-	id       int
-	vertices []graph.VertexID
-	outbox   [][]Message // per destination worker
+	run  *run
+	id   int
+	ctx  *Context         // reused across supersteps
+	cur  []graph.VertexID // this superstep's worklist
+	next []graph.VertexID // next superstep's worklist, deduped via run.queued
+
+	// Combiner path: dense per-destination fold slot plus the
+	// destinations touched this superstep, sharded by their owner so
+	// delivery shards read only their own vertices.
+	accVal []float64
+	accSet []bool
+	staged [][]graph.VertexID
+
+	// Non-combiner path: pooled outboxes per destination worker, and
+	// the inbox arena + dirty list for this worker's own vertex range.
+	outbox [][]Message
+	arena  []float64
+	dirty  []graph.VertexID
+
 	aggLocal map[string]float64
 	sent     int64
 	calls    int64
@@ -235,10 +304,14 @@ func Run(g *graph.Graph, prog Program, cfg Config) (Result, error) {
 		val, act := prog.Init(g, graph.VertexID(v))
 		r.values[v] = val
 		r.active[v] = act
+		if act {
+			r.enqueue(graph.VertexID(v))
+		}
 	}
 	if aux, ok := prog.(AuxState); ok {
 		aux.InitAux(g)
 	}
+	r.promote()
 	return r.loop(cfg.StopAfter, cfg.MaxSupersteps)
 }
 
@@ -261,9 +334,12 @@ func Resume(g *graph.Graph, prog Program, snap *Snapshot, cfg Config) (Result, e
 	}
 	copy(r.values, snap.Values)
 	copy(r.active, snap.Active)
-	for _, m := range snap.Pending {
-		r.inbox[m.Dst] = append(r.inbox[m.Dst], m.Val)
+	for v, act := range r.active {
+		if act {
+			r.enqueue(graph.VertexID(v))
+		}
 	}
+	r.injectPending(snap.Pending)
 	for name, v := range snap.AggValues {
 		if a, ok := r.aggs[name]; ok {
 			a.value = v
@@ -276,6 +352,7 @@ func Resume(g *graph.Graph, prog Program, snap *Snapshot, cfg Config) (Result, e
 			return Result{}, fmt.Errorf("engine: aux restore: %w", err)
 		}
 	}
+	r.promote()
 	return r.loop(cfg.StopAfter, cfg.MaxSupersteps)
 }
 
@@ -289,7 +366,7 @@ func newRun(g *graph.Graph, prog Program, cfg Config) (*run, error) {
 		prog:   prog,
 		values: make([]float64, n),
 		active: make([]bool, n),
-		inbox:  make([][]float64, n),
+		queued: make([]bool, n),
 		owner:  make([]int32, n),
 		aggs:   map[string]*aggregator{},
 	}
@@ -311,26 +388,119 @@ func newRun(g *graph.Graph, prog Program, cfg Config) (*run, error) {
 	r.collectSteps = cfg.CollectStepStats
 	if c, ok := prog.(Combiner); ok {
 		r.comb = c
+		r.inVal = make([]float64, n)
+		r.inSet = make([]bool, n)
+	} else {
+		r.msgEnd = make([]int32, n)
+		r.msgLen = make([]int32, n)
 	}
 	if a, ok := prog.(Aggregators); ok {
 		for _, spec := range a.Aggregators() {
 			r.aggs[spec.Name] = &aggregator{identity: spec.Identity, reduce: spec.Reduce, value: spec.Identity}
 		}
 	}
+	// Worklists and staged-destination lists have exact capacity bounds
+	// (a worker's worklist holds at most its owned vertices; a sender
+	// stages at most one slot per destination vertex), so size them up
+	// front and the superstep loop never grows a buffer.
+	owned := make([]int, cfg.Workers)
+	for _, o := range r.owner {
+		owned[o]++
+	}
 	r.workers = make([]*worker, cfg.Workers)
 	for w := range r.workers {
-		r.workers[w] = &worker{
-			run:      r,
-			id:       w,
-			outbox:   make([][]Message, cfg.Workers),
-			aggLocal: map[string]float64{},
+		wk := &worker{run: r, id: w, aggLocal: map[string]float64{}}
+		wk.ctx = &Context{w: wk}
+		wk.cur = make([]graph.VertexID, 0, owned[w])
+		wk.next = make([]graph.VertexID, 0, owned[w])
+		if r.comb != nil {
+			wk.accVal = make([]float64, n)
+			wk.accSet = make([]bool, n)
+			wk.staged = make([][]graph.VertexID, cfg.Workers)
+			for d := range wk.staged {
+				wk.staged[d] = make([]graph.VertexID, 0, owned[d])
+			}
+		} else {
+			wk.outbox = make([][]Message, cfg.Workers)
+			wk.dirty = make([]graph.VertexID, 0, owned[w])
 		}
-	}
-	for v := 0; v < n; v++ {
-		w := r.workers[r.owner[v]]
-		w.vertices = append(w.vertices, graph.VertexID(v))
+		r.workers[w] = wk
 	}
 	return r, nil
+}
+
+// enqueue puts v on its owner's next-superstep worklist if it is not
+// already queued. Callers must be the goroutine owning v's range (or
+// run single-threaded at init/inject time).
+func (r *run) enqueue(v graph.VertexID) {
+	if !r.queued[v] {
+		r.queued[v] = true
+		w := r.workers[r.owner[v]]
+		w.next = append(w.next, v)
+	}
+}
+
+// promote rotates the initial worklists into place: init/inject
+// enqueue onto next, and the loop consumes cur.
+func (r *run) promote() {
+	for _, w := range r.workers {
+		w.cur, w.next = w.next, w.cur
+	}
+}
+
+// injectPending seeds a resumed run's inbox from a snapshot's pending
+// messages. With a combiner, every message folds unconditionally into
+// the dense slot — a checkpoint may legitimately carry several
+// messages for one vertex (e.g. one written by an engine without
+// sender-side combining), and Compute must still observe at most one
+// folded value. Without a combiner, messages are counting-sorted into
+// the owners' arenas exactly like a regular delivery.
+func (r *run) injectPending(pending []Message) {
+	if r.comb != nil {
+		for _, m := range pending {
+			if r.inSet[m.Dst] {
+				r.inVal[m.Dst] = r.comb.Combine(r.inVal[m.Dst], m.Val)
+			} else {
+				r.inSet[m.Dst] = true
+				r.inVal[m.Dst] = m.Val
+				r.enqueue(m.Dst)
+			}
+		}
+		return
+	}
+	for _, m := range pending {
+		if r.msgLen[m.Dst] == 0 {
+			w := r.workers[r.owner[m.Dst]]
+			w.dirty = append(w.dirty, m.Dst)
+			r.enqueue(m.Dst)
+		}
+		r.msgLen[m.Dst]++
+	}
+	for _, w := range r.workers {
+		w.layoutArena()
+	}
+	for _, m := range pending {
+		w := r.workers[r.owner[m.Dst]]
+		w.arena[r.msgEnd[m.Dst]] = m.Val
+		r.msgEnd[m.Dst]++
+	}
+}
+
+// layoutArena sizes w.arena for the counts accumulated in run.msgLen
+// over w.dirty and points msgEnd at each vertex's start offset; the
+// fill pass then advances msgEnd to the end of each vertex's slice.
+func (w *worker) layoutArena() {
+	r := w.run
+	total := 0
+	for _, v := range w.dirty {
+		r.msgEnd[v] = int32(total)
+		total += int(r.msgLen[v])
+	}
+	if cap(w.arena) < total {
+		w.arena = make([]float64, total, total+total/4)
+	} else {
+		w.arena = w.arena[:total]
+	}
 }
 
 // loop drives supersteps until quiescence, pause, or the step limit.
@@ -358,65 +528,74 @@ func (r *run) loop(stopAfter, maxSupersteps int) (Result, error) {
 	}
 }
 
-// anyWork reports whether any vertex is active or has pending messages.
+// anyWork reports whether any worker has queued vertices — O(workers),
+// not O(vertices).
 func (r *run) anyWork() bool {
-	for v, act := range r.active {
-		if act || len(r.inbox[v]) > 0 {
+	for _, w := range r.workers {
+		if len(w.cur) > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// step executes one superstep: parallel compute, then message exchange
-// and aggregator reduction at the barrier.
+// step executes one superstep: parallel compute over the active
+// worklists, then sharded message delivery and aggregator reduction at
+// the barrier.
 func (r *run) step() {
+	comb := r.comb != nil
 	var wg sync.WaitGroup
 	for _, w := range r.workers {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			ctx := &Context{w: w, superstep: r.superstep}
-			for _, v := range w.vertices {
-				msgs := r.inbox[v]
-				if !r.active[v] && len(msgs) == 0 {
-					continue
+			ctx := w.ctx
+			ctx.superstep = r.superstep
+			for _, v := range w.cur {
+				r.queued[v] = false
+				var msgs []float64
+				if comb {
+					if r.inSet[v] {
+						r.inSet[v] = false
+						msgs = r.inVal[v : v+1]
+					}
+				} else if n := r.msgLen[v]; n > 0 {
+					end := r.msgEnd[v]
+					msgs = w.arena[end-n : end]
+					r.msgLen[v] = 0
 				}
 				r.active[v] = true // message receipt reactivates
 				r.prog.Compute(ctx, v, msgs)
 				w.calls++
+				if r.active[v] && !r.queued[v] {
+					r.queued[v] = true
+					w.next = append(w.next, v)
+				}
 			}
+			w.cur = w.cur[:0]
 		}(w)
 	}
 	wg.Wait()
 
-	// Barrier: clear inboxes, deliver staged messages, fold aggregators.
-	for v := range r.inbox {
-		r.inbox[v] = r.inbox[v][:0]
-	}
+	// Barrier: deliver staged messages. Each goroutine owns one
+	// destination worker's vertex range, so inbox state, worklist
+	// appends, and sender slot clears never race.
 	var dg sync.WaitGroup
-	for dst := range r.workers {
+	for _, dw := range r.workers {
 		dg.Add(1)
-		go func(dst int) {
+		go func(dw *worker) {
 			defer dg.Done()
-			for _, src := range r.workers {
-				for _, m := range src.outbox[dst] {
-					box := r.inbox[m.Dst]
-					if r.comb != nil && len(box) == 1 {
-						box[0] = r.comb.Combine(box[0], m.Val)
-					} else {
-						r.inbox[m.Dst] = append(box, m.Val)
-					}
-				}
+			if comb {
+				dw.deliverCombined()
+			} else {
+				dw.deliverPooled()
 			}
-		}(dst)
+		}(dw)
 	}
 	dg.Wait()
+
 	var stepSent, stepCalls int64
 	for _, w := range r.workers {
-		for dst := range w.outbox {
-			w.outbox[dst] = w.outbox[dst][:0]
-		}
 		stepSent += w.sent
 		stepCalls += w.calls
 		r.sent += w.sent
@@ -445,7 +624,65 @@ func (r *run) step() {
 		}
 		agg.value = val
 	}
+	for _, w := range r.workers {
+		w.cur, w.next = w.next, w.cur
+	}
 	r.superstep++
+}
+
+// deliverCombined merges every sender's staged slots for dw's vertex
+// range into the dense inbox, folding across senders in worker order,
+// and clears the sender slots (distinct bytes per destination worker,
+// so concurrent shards never touch the same memory).
+func (dw *worker) deliverCombined() {
+	r := dw.run
+	for _, sw := range r.workers {
+		staged := sw.staged[dw.id]
+		for _, v := range staged {
+			if r.inSet[v] {
+				r.inVal[v] = r.comb.Combine(r.inVal[v], sw.accVal[v])
+			} else {
+				r.inSet[v] = true
+				r.inVal[v] = sw.accVal[v]
+				if !r.queued[v] {
+					r.queued[v] = true
+					dw.next = append(dw.next, v)
+				}
+			}
+			sw.accSet[v] = false
+		}
+		sw.staged[dw.id] = staged[:0]
+	}
+}
+
+// deliverPooled counting-sorts the messages addressed to dw's vertex
+// range into dw's arena, preserving the (sender worker, send order)
+// arrival order of the previous append-based inboxes, and recycles the
+// consumed outboxes.
+func (dw *worker) deliverPooled() {
+	r := dw.run
+	dw.dirty = dw.dirty[:0]
+	for _, sw := range r.workers {
+		for _, m := range sw.outbox[dw.id] {
+			if r.msgLen[m.Dst] == 0 {
+				dw.dirty = append(dw.dirty, m.Dst)
+				if !r.queued[m.Dst] {
+					r.queued[m.Dst] = true
+					dw.next = append(dw.next, m.Dst)
+				}
+			}
+			r.msgLen[m.Dst]++
+		}
+	}
+	dw.layoutArena()
+	for _, sw := range r.workers {
+		box := sw.outbox[dw.id]
+		for _, m := range box {
+			dw.arena[r.msgEnd[m.Dst]] = m.Val
+			r.msgEnd[m.Dst]++
+		}
+		sw.outbox[dw.id] = box[:0]
+	}
 }
 
 func (r *run) stats() Stats {

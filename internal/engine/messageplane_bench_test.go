@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"hourglass/internal/graph"
+)
+
+// BenchmarkEngineMessagePlane is the engine's message-plane baseline:
+// PageRank (combiner, dense every superstep), SSSP (combiner,
+// frontier-shaped), and WCC (combiner, shrinking frontier) on a
+// power-law RMAT graph at 1/4/8 workers, plus PageRank with the
+// combiner hidden to exercise the pooled non-combiner path. Numbers
+// feed BENCH_ENGINE.json (scripts/bench_engine.sh).
+func BenchmarkEngineMessagePlane(b *testing.B) {
+	p := graph.DefaultRMAT(12, 42)
+	p.Undirected = true
+	p.Weighted = true
+	g := graph.RMAT(p)
+
+	progs := []struct {
+		name string
+		mk   func() Program
+	}{
+		{"pagerank", func() Program { return &PageRank{Iterations: 10} }},
+		{"pagerank-plain", func() Program { return &uncombined{&PageRank{Iterations: 10}} }},
+		{"sssp", func() Program { return &SSSP{Source: 0} }},
+		{"wcc", func() Program { return WCC{} }},
+	}
+	for _, pr := range progs {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", pr.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var supersteps int64
+				for i := 0; i < b.N; i++ {
+					res, err := Run(g, pr.mk(), Config{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					supersteps += int64(res.Stats.Supersteps)
+				}
+				if supersteps > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(supersteps), "ns/superstep")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_ENGINE.json from the engine message-plane
+# microbenchmarks (internal/engine BenchmarkEngineMessagePlane):
+#
+#   scripts/bench_engine.sh [output.json]
+#
+# BENCHTIME (default 2s) controls -benchtime. The emitted JSON carries
+# two sections: "baseline" holds the frozen pre-message-plane numbers
+# (per-vertex inbox slices, O(V) liveness scan) measured on the same
+# benchmark immediately before the rewrite, and "current" holds this
+# run. Comparing allocs_per_op between the two is the engine's
+# regression gate: PageRank must stay ≥5× below the baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ENGINE.json}"
+benchtime="${BENCHTIME:-2s}"
+
+raw="$(go test ./internal/engine/ -run NONE -bench BenchmarkEngineMessagePlane -benchmem -benchtime "$benchtime")"
+echo "$raw" >&2
+
+{
+  printf '{\n'
+  printf '  "benchmark": "BenchmarkEngineMessagePlane",\n'
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  awk '
+    $1 == "goos:"   { printf("  \"goos\": \"%s\",\n", $2) }
+    $1 == "goarch:" { printf("  \"goarch\": \"%s\",\n", $2) }
+    $1 == "cpu:"    { $1 = ""; sub(/^ /, ""); printf("  \"cpu\": \"%s\",\n", $0) }
+  ' <<<"$raw"
+  # Frozen pre-rewrite numbers (engine as of PR 1, 2s benchtime, same
+  # benchmark and graph: RMAT scale 12, undirected, weighted).
+  cat <<'BASELINE'
+  "baseline": {
+    "note": "message plane before sender-side combining / worklists / pooled arenas",
+    "results": [
+      {"case": "pagerank/workers=1", "ns_per_op": 10624802, "ns_per_superstep": 965890, "bytes_per_op": 9173688, "allocs_per_op": 3507},
+      {"case": "pagerank/workers=4", "ns_per_op": 14297795, "ns_per_superstep": 1299799, "bytes_per_op": 6650680, "allocs_per_op": 3936},
+      {"case": "pagerank/workers=8", "ns_per_op": 13178718, "ns_per_superstep": 1198064, "bytes_per_op": 5834360, "allocs_per_op": 4685},
+      {"case": "pagerank-plain/workers=1", "ns_per_op": 21694357, "ns_per_superstep": 1972212, "bytes_per_op": 11334136, "allocs_per_op": 14961},
+      {"case": "pagerank-plain/workers=4", "ns_per_op": 26171153, "ns_per_superstep": 2379194, "bytes_per_op": 8811128, "allocs_per_op": 15390},
+      {"case": "pagerank-plain/workers=8", "ns_per_op": 20140811, "ns_per_superstep": 1830981, "bytes_per_op": 7994821, "allocs_per_op": 16139},
+      {"case": "sssp/workers=1", "ns_per_op": 7953578, "ns_per_superstep": 611813, "bytes_per_op": 7289296, "allocs_per_op": 3512},
+      {"case": "sssp/workers=4", "ns_per_op": 10732655, "ns_per_superstep": 825588, "bytes_per_op": 5929616, "allocs_per_op": 3965},
+      {"case": "sssp/workers=8", "ns_per_op": 9647343, "ns_per_superstep": 742103, "bytes_per_op": 5308688, "allocs_per_op": 4745},
+      {"case": "wcc/workers=1", "ns_per_op": 4101052, "ns_per_superstep": 820209, "bytes_per_op": 9172336, "allocs_per_op": 3460},
+      {"case": "wcc/workers=4", "ns_per_op": 4950940, "ns_per_superstep": 990187, "bytes_per_op": 6646688, "allocs_per_op": 3796},
+      {"case": "wcc/workers=8", "ns_per_op": 4335742, "ns_per_superstep": 867147, "bytes_per_op": 5826848, "allocs_per_op": 4421}
+    ]
+  },
+BASELINE
+  printf '  "current": [\n'
+  awk '
+    /^BenchmarkEngineMessagePlane\// {
+      name = $1
+      sub(/^BenchmarkEngineMessagePlane\//, "", name)
+      sub(/-[0-9]+$/, "", name)
+      ns = bytes = allocs = step = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")        ns = $(i - 1)
+        if ($i == "ns/superstep") step = $(i - 1)
+        if ($i == "B/op")         bytes = $(i - 1)
+        if ($i == "allocs/op")    allocs = $(i - 1)
+      }
+      if (n++) printf(",\n")
+      printf("    {\"case\": \"%s\", \"ns_per_op\": %s, \"ns_per_superstep\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, step, bytes, allocs)
+    }
+    END { printf("\n") }
+  ' <<<"$raw"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+echo "wrote $out" >&2
