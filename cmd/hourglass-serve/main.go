@@ -28,7 +28,9 @@ import (
 
 	"hourglass"
 	"hourglass/internal/cloud"
+	"hourglass/internal/faultinject"
 	"hourglass/internal/scheduler"
+	"hourglass/internal/units"
 )
 
 func main() {
@@ -39,6 +41,11 @@ func main() {
 	history := flag.Int("history", 1024, "retained run records per job")
 	state := flag.String("state", "", "state file: restored at boot, written on shutdown")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	chaos := flag.Bool("chaos", false, "inject seeded faults into the snapshot store (soak testing)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed")
+	chaosErr := flag.Float64("chaos-error-rate", 0.2, "probability of a transient store error per op")
+	chaosCorrupt := flag.Float64("chaos-corrupt-rate", 0.05, "probability of durable write corruption per put")
+	chaosLatency := flag.Duration("chaos-latency", 2*time.Second, "max injected (virtual) latency per op")
 	flag.Parse()
 
 	sys, err := hourglass.New(hourglass.Options{Seed: *seed, TraceDays: *traceDays})
@@ -49,14 +56,32 @@ func main() {
 	// The controller snapshots into a Datastore (the S3 stand-in);
 	// -state mirrors that object to a local file across restarts.
 	const snapshotKey = "scheduler/state.json"
-	store := cloud.NewDatastore()
+	base := cloud.NewDatastore()
+	var store cloud.BlobStore = base
 	if *state != "" {
 		if data, err := os.ReadFile(*state); err == nil {
-			store.Put(snapshotKey, data)
+			if _, err := base.Put(snapshotKey, data); err != nil {
+				log.Fatalf("seeding state object: %v", err)
+			}
 			log.Printf("loaded state from %s (%d bytes)", *state, len(data))
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("reading state file: %v", err)
 		}
+	}
+	if *chaos {
+		// Soak mode: the controller's snapshot/restore path runs
+		// against a misbehaving store, exercising the retry, checksum
+		// and corrupt-skip machinery in a live daemon.
+		store = faultinject.Wrap(store, faultinject.Policy{
+			Seed:          *chaosSeed,
+			PError:        *chaosErr,
+			PWriteCorrupt: *chaosCorrupt,
+			PReadCorrupt:  *chaosCorrupt,
+			PTruncate:     *chaosCorrupt / 2,
+			MaxLatency:    units.Seconds(chaosLatency.Seconds()),
+		})
+		log.Printf("chaos mode: seed=%d error=%.2f corrupt=%.2f latency<=%v",
+			*chaosSeed, *chaosErr, *chaosCorrupt, *chaosLatency)
 	}
 
 	ctrl, err := scheduler.New(scheduler.Options{
@@ -91,8 +116,10 @@ func main() {
 	if err := ctrl.Shutdown(ctx); err != nil {
 		log.Printf("controller shutdown: %v", err)
 	}
+	// Mirror from the underlying datastore, not the chaos wrapper:
+	// the injector must never corrupt the local state file.
 	if *state != "" {
-		if data, _, err := store.Get(snapshotKey); err == nil {
+		if data, _, err := base.Get(snapshotKey); err == nil {
 			if err := os.WriteFile(*state, data, 0o644); err != nil {
 				log.Printf("writing state file: %v", err)
 			} else {

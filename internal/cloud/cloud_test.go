@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -250,16 +252,16 @@ func TestSurvivalBetween(t *testing.T) {
 
 func TestDatastorePutGet(t *testing.T) {
 	d := NewDatastore()
-	up := d.Put("a", []byte("hello"))
-	if up <= 0 {
-		t.Errorf("upload time = %v", up)
+	up, err := d.Put("a", []byte("hello"))
+	if err != nil || up <= 0 {
+		t.Errorf("upload time = %v, err = %v", up, err)
 	}
 	data, down, err := d.Get("a")
 	if err != nil || string(data) != "hello" || down <= 0 {
 		t.Errorf("get = %q %v %v", data, down, err)
 	}
-	if _, _, err := d.Get("missing"); err == nil {
-		t.Error("missing key accepted")
+	if _, _, err := d.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key: err = %v, want ErrNotFound", err)
 	}
 	if !d.Exists("a") || d.Exists("b") {
 		t.Error("Exists wrong")
@@ -365,5 +367,95 @@ func TestDatastoreKeys(t *testing.T) {
 	d.Delete("b")
 	if got := d.Keys(); len(got) != 2 {
 		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestDatastoreGetReturnsDefensiveCopy(t *testing.T) {
+	// Regression: Get used to return the internal slice, so a caller
+	// mutating the bytes corrupted the "durable" object and a later
+	// reload restored the corrupted state.
+	d := NewDatastore()
+	d.Put("ckpt", []byte("pristine"))
+
+	data, _, err := d.Get("ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 'X' // caller scribbles over its copy
+	}
+	back, _, err := d.Get("ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != "pristine" {
+		t.Fatalf("durable object corrupted through Get aliasing: %q", back)
+	}
+
+	r, _, err := d.GetReader("ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 'Y'
+	}
+	back, _, _ = d.Get("ckpt")
+	if string(back) != "pristine" {
+		t.Fatalf("durable object corrupted through GetReader aliasing: %q", back)
+	}
+}
+
+func TestRetrierSucceedsAfterTransientFailures(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 5, Base: 1, Seed: 7})
+	calls := 0
+	delay, err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	// Two backoffs: 1s and 2s, each jittered into [0.5·b, b).
+	if delay < 1.5 || delay >= 3 {
+		t.Errorf("accumulated backoff %v outside [1.5, 3)", delay)
+	}
+}
+
+func TestRetrierGivesUpAfterAttempts(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 3, Base: 1, Seed: 1})
+	calls := 0
+	_, err := r.Do(func() error { calls++; return fmt.Errorf("always down") })
+	if err == nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetrierStopsOnNotFound(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 5, Base: 1, Seed: 1})
+	calls := 0
+	delay, err := r.Do(func() error {
+		calls++
+		return fmt.Errorf("wrapped: %w", ErrNotFound)
+	})
+	if !errors.Is(err, ErrNotFound) || calls != 1 || delay != 0 {
+		t.Fatalf("not-found retried: calls=%d delay=%v err=%v", calls, delay, err)
+	}
+}
+
+func TestRetrierJitterDeterministic(t *testing.T) {
+	run := func() units.Seconds {
+		r := NewRetrier(RetryPolicy{Attempts: 4, Base: 1, Seed: 99})
+		d, _ := r.Do(func() error { return fmt.Errorf("down") })
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different backoff: %v vs %v", a, b)
 	}
 }

@@ -2,12 +2,45 @@ package cloud
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"hourglass/internal/units"
 )
+
+// ErrNotFound marks a Get against a key the store does not hold. It is
+// a *permanent* failure: retry loops must give up on it immediately
+// instead of backing off (errors.Is distinguishes it from the transient
+// errors a fault-injecting store synthesises).
+var ErrNotFound = errors.New("cloud: object not found")
+
+// BlobStore is the minimal durable-store surface the recovery stack
+// (engine checkpoints, controller snapshots) depends on. *Datastore is
+// the well-behaved implementation; faultinject.Store wraps any
+// BlobStore with a seeded schedule of transient errors, latency and
+// corruption so the same recovery code can be driven against a
+// misbehaving S3.
+//
+// Put and Get may fail transiently; callers on the durability path
+// retry with backoff (cloud.Retrier). Exists and Keys are metadata
+// operations and are expected to stay reliable.
+type BlobStore interface {
+	// Put stores a blob, returning the virtual upload time.
+	Put(key string, data []byte) (units.Seconds, error)
+	// Get fetches a copy of a blob and the virtual download time.
+	// Missing keys fail with an error wrapping ErrNotFound.
+	Get(key string) ([]byte, units.Seconds, error)
+	// Delete removes a blob (idempotent).
+	Delete(key string)
+	// Exists reports whether the key is stored.
+	Exists(key string) bool
+	// Keys returns the stored object keys in sorted order.
+	Keys() []string
+}
+
+var _ BlobStore = (*Datastore)(nil)
 
 // Datastore is the S3 stand-in: a durable blob store surviving full
 // cluster failures (the paper modifies Giraph to checkpoint to S3
@@ -33,21 +66,29 @@ func NewDatastore() *Datastore {
 	}
 }
 
-// Put stores a blob and returns the virtual upload time.
-func (d *Datastore) Put(key string, data []byte) units.Seconds {
+// Put stores a blob and returns the virtual upload time. The error is
+// always nil for the in-memory store; it exists so BlobStore
+// implementations with failure modes share the signature.
+func (d *Datastore) Put(key string, data []byte) (units.Seconds, error) {
 	d.mu.Lock()
 	d.objects[key] = append([]byte(nil), data...)
 	d.mu.Unlock()
-	return units.Seconds(float64(len(data)) / d.PerConnBandwidth)
+	return units.Seconds(float64(len(data)) / d.PerConnBandwidth), nil
 }
 
-// Get fetches a blob and the virtual download time.
+// Get fetches a blob and the virtual download time. The returned slice
+// is a defensive copy: callers may mutate it freely without corrupting
+// the durable object (a checkpoint reload must never observe a
+// caller's scribbles).
 func (d *Datastore) Get(key string) ([]byte, units.Seconds, error) {
 	d.mu.RLock()
 	data, ok := d.objects[key]
+	if ok {
+		data = append([]byte(nil), data...)
+	}
 	d.mu.RUnlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("cloud: datastore has no object %q", key)
+		return nil, 0, fmt.Errorf("cloud: datastore has no object %q: %w", key, ErrNotFound)
 	}
 	return data, units.Seconds(float64(len(data)) / d.PerConnBandwidth), nil
 }

@@ -1,0 +1,90 @@
+package cloud
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"hourglass/internal/units"
+)
+
+// RetryPolicy shapes the exponential backoff used on the durability
+// path (checkpoint uploads/downloads, controller snapshots). Delays
+// are *virtual* seconds — the simulated transfer clock — so a Retrier
+// never sleeps wall time.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, first included (0 = 5).
+	Attempts int
+	// Base is the backoff before the second try (0 = 0.5 s virtual).
+	Base units.Seconds
+	// Factor multiplies the backoff after each failure (0 = 2).
+	Factor float64
+	// Jitter is the fraction of each backoff drawn uniformly at random
+	// — full backoff b becomes b·(1−Jitter) + b·Jitter·U[0,1) — so
+	// retrying replicas decorrelate instead of stampeding (0 = 0.5).
+	Jitter float64
+	// Seed makes the jitter sequence deterministic for a fixed policy
+	// instance, keeping simulations reproducible.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 0.5
+	}
+	if p.Factor <= 1 {
+		p.Factor = 2
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Retrier applies a RetryPolicy. It is safe for concurrent use; the
+// jitter stream is shared (mutex-guarded), so per-call sequences stay
+// deterministic for single-goroutine callers.
+type Retrier struct {
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a Retrier (zero policy fields take defaults).
+func NewRetrier(p RetryPolicy) *Retrier {
+	p = p.withDefaults()
+	return &Retrier{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Do runs op until it succeeds, fails permanently (ErrNotFound), or
+// the attempt budget is spent. It returns the virtual backoff delay
+// accumulated across retries and the last error (nil on success).
+func (r *Retrier) Do(op func() error) (units.Seconds, error) {
+	var delay units.Seconds
+	backoff := r.policy.Base
+	var err error
+	for attempt := 0; attempt < r.policy.Attempts; attempt++ {
+		if err = op(); err == nil {
+			return delay, nil
+		}
+		if errors.Is(err, ErrNotFound) {
+			return delay, err
+		}
+		if attempt == r.policy.Attempts-1 {
+			break
+		}
+		r.mu.Lock()
+		u := r.rng.Float64()
+		r.mu.Unlock()
+		delay += units.Seconds(float64(backoff) * (1 - r.policy.Jitter + r.policy.Jitter*u))
+		backoff = units.Seconds(float64(backoff) * r.policy.Factor)
+	}
+	return delay, err
+}

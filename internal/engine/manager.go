@@ -2,8 +2,13 @@ package engine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
 
 	"hourglass/internal/cloud"
 	"hourglass/internal/graph"
@@ -16,10 +21,23 @@ import (
 // checkpoints from/to Amazon S3 ... this allows a recovery from a full
 // system failure"). Keys are namespaced per job so recurrent executions
 // coexist.
+//
+// The store is allowed to misbehave (see internal/faultinject): every
+// blob is sealed with a CRC32 trailer over the codec frames, transient
+// store errors are retried with exponential backoff + jitter, and a
+// corrupted or partial checkpoint is detected and *skipped* — Load
+// falls back to the newest older checkpoint that validates instead of
+// silently restoring garbage.
 type CheckpointManager struct {
-	Store *cloud.Datastore
+	Store cloud.BlobStore
 	// Job is the key namespace, typically "<program>/<dataset>".
 	Job string
+	// Retry overrides the backoff policy for store operations
+	// (nil = cloud.RetryPolicy defaults, seeded from Job).
+	Retry *cloud.Retrier
+
+	retryOnce    sync.Once
+	defaultRetry *cloud.Retrier
 }
 
 // key is the datastore object name for a superstep's checkpoint.
@@ -32,36 +50,184 @@ func (m *CheckpointManager) latestKey() string {
 	return fmt.Sprintf("ckpt/%s/latest", m.Job)
 }
 
-// Save uploads a snapshot and atomically advances the latest pointer,
-// returning the virtual upload time.
+// retrier resolves the configured or default backoff policy.
+func (m *CheckpointManager) retrier() *cloud.Retrier {
+	if m.Retry != nil {
+		return m.Retry
+	}
+	m.retryOnce.Do(func() {
+		var seed int64 = 1469598103934665603
+		for _, c := range m.Job {
+			seed ^= int64(c)
+			seed *= 1099511628211
+		}
+		m.defaultRetry = cloud.NewRetrier(cloud.RetryPolicy{Seed: seed})
+	})
+	return m.defaultRetry
+}
+
+// putRetry uploads a blob, retrying transient store errors. The
+// returned time includes the successful transfer plus backoff delays.
+func (m *CheckpointManager) putRetry(key string, data []byte) (units.Seconds, error) {
+	var xfer units.Seconds
+	delay, err := m.retrier().Do(func() error {
+		t, err := m.Store.Put(key, data)
+		xfer = t
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("engine: checkpoint upload %q: %w", key, err)
+	}
+	return xfer + delay, nil
+}
+
+// getRetry downloads a blob, retrying transient store errors.
+func (m *CheckpointManager) getRetry(key string) ([]byte, units.Seconds, error) {
+	var blob []byte
+	var xfer units.Seconds
+	delay, err := m.retrier().Do(func() error {
+		b, t, err := m.Store.Get(key)
+		blob, xfer = b, t
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, xfer + delay, nil
+}
+
+// frameMagic seals the CRC trailer ("HGCR").
+const frameMagic = uint32(0x48474352)
+
+// frameTrailerLen is the sealFrame overhead in bytes.
+const frameTrailerLen = 8
+
+// ErrCorruptCheckpoint reports a checkpoint blob whose CRC32 trailer
+// is missing, truncated, or does not match the codec frames.
+var ErrCorruptCheckpoint = errors.New("engine: corrupt checkpoint frame")
+
+// sealFrame appends a magic + CRC32 (IEEE) trailer over the payload.
+func sealFrame(payload []byte) []byte {
+	out := make([]byte, len(payload)+frameTrailerLen)
+	copy(out, payload)
+	binary.LittleEndian.PutUint32(out[len(payload):], frameMagic)
+	binary.LittleEndian.PutUint32(out[len(payload)+4:], crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// openFrame validates and strips the trailer, failing with
+// ErrCorruptCheckpoint on any mismatch (truncation included).
+func openFrame(blob []byte) ([]byte, error) {
+	if len(blob) < frameTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptCheckpoint, len(blob))
+	}
+	payload, trailer := blob[:len(blob)-frameTrailerLen], blob[len(blob)-frameTrailerLen:]
+	if binary.LittleEndian.Uint32(trailer[:4]) != frameMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic", ErrCorruptCheckpoint)
+	}
+	if binary.LittleEndian.Uint32(trailer[4:]) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: CRC32 mismatch", ErrCorruptCheckpoint)
+	}
+	return payload, nil
+}
+
+// Save uploads a snapshot sealed with a CRC32 trailer and advances the
+// latest pointer, returning the virtual upload time (retry backoff
+// included). Transient store errors are retried; only an exhausted
+// retry budget fails the save.
 func (m *CheckpointManager) Save(s *Snapshot) (units.Seconds, error) {
 	var buf bytes.Buffer
 	if _, err := s.WriteTo(&buf); err != nil {
 		return 0, err
 	}
-	t := m.Store.Put(m.key(s.Superstep), buf.Bytes())
-	m.Store.Put(m.latestKey(), []byte(m.key(s.Superstep)))
-	return t, nil
+	t0, err := m.putRetry(m.key(s.Superstep), sealFrame(buf.Bytes()))
+	if err != nil {
+		return 0, err
+	}
+	t1, err := m.putRetry(m.latestKey(), []byte(m.key(s.Superstep)))
+	if err != nil {
+		return 0, err
+	}
+	return t0 + t1, nil
 }
 
 // ErrNoCheckpoint reports an empty namespace (fresh job).
 var ErrNoCheckpoint = errors.New("engine: no checkpoint available")
 
-// Load fetches the most recent checkpoint and its download time.
-func (m *CheckpointManager) Load() (*Snapshot, units.Seconds, error) {
-	ptr, t0, err := m.Store.Get(m.latestKey())
-	if err != nil {
-		return nil, 0, ErrNoCheckpoint
-	}
-	blob, t1, err := m.Store.Get(string(ptr))
-	if err != nil {
-		return nil, 0, fmt.Errorf("engine: dangling latest pointer %q: %w", ptr, err)
-	}
-	snap, err := ReadSnapshot(bytes.NewReader(blob))
+// loadKey fetches and validates one checkpoint object.
+func (m *CheckpointManager) loadKey(key string) (*Snapshot, units.Seconds, error) {
+	blob, t, err := m.getRetry(key)
 	if err != nil {
 		return nil, 0, err
 	}
-	return snap, t0 + t1, nil
+	payload, err := openFrame(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := ReadSnapshot(bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	return snap, t, nil
+}
+
+// Load fetches the most recent checkpoint that validates, with its
+// download time. A corrupted or dangling latest checkpoint is skipped:
+// Load scans older checkpoints in the namespace (newest first) and
+// restores the first intact one. Only a namespace with no restorable
+// checkpoint at all returns ErrNoCheckpoint.
+func (m *CheckpointManager) Load() (*Snapshot, units.Seconds, error) {
+	// A cleanly absent pointer means "fresh job" (or a completed one —
+	// Clear removes only the pointer and leaves blobs to GC, which must
+	// NOT be resurrected by the fallback scan).
+	if !m.Store.Exists(m.latestKey()) {
+		return nil, 0, ErrNoCheckpoint
+	}
+	var total units.Seconds
+	skip := ""
+	if ptr, t, err := m.getRetry(m.latestKey()); err == nil {
+		total += t
+		skip = string(ptr)
+		snap, t1, err := m.loadKey(skip)
+		if err == nil {
+			return snap, total + t1, nil
+		}
+	}
+	// The pointer or its target is unreadable or corrupt: fall back to
+	// the newest older checkpoint that validates.
+	snap, t, err := m.scanFallback(skip)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, total + t, nil
+}
+
+// scanFallback walks the job's checkpoint objects newest-first,
+// skipping the already-rejected key, and returns the first that
+// validates.
+func (m *CheckpointManager) scanFallback(skip string) (*Snapshot, units.Seconds, error) {
+	prefix := fmt.Sprintf("ckpt/%s/", m.Job)
+	latest := m.latestKey()
+	var candidates []string
+	for _, k := range m.Store.Keys() {
+		if !strings.HasPrefix(k, prefix) || k == latest || k == skip {
+			continue
+		}
+		candidates = append(candidates, k)
+	}
+	// Keys embed the zero-padded superstep, so lexicographic descending
+	// order is newest-first.
+	sort.Sort(sort.Reverse(sort.StringSlice(candidates)))
+	var total units.Seconds
+	for _, k := range candidates {
+		snap, t, err := m.loadKey(k)
+		total += t
+		if err != nil {
+			continue
+		}
+		return snap, total, nil
+	}
+	return nil, 0, ErrNoCheckpoint
 }
 
 // Clear removes the latest pointer (checkpoints themselves are left

@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hourglass/internal/cloud"
+)
+
+func TestZeroPolicyIsTransparent(t *testing.T) {
+	s := Wrap(cloud.NewDatastore(), Policy{})
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.Get("k")
+	if err != nil || string(data) != "v" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	if !s.Exists("k") || len(s.Keys()) != 1 {
+		t.Error("metadata ops broken")
+	}
+	s.Delete("k")
+	if s.Exists("k") {
+		t.Error("delete broken")
+	}
+	st := s.Stats()
+	if st.Errors+st.ReadCorruptions+st.WriteCorruptions+st.Truncations != 0 {
+		t.Errorf("zero policy injected faults: %+v", st)
+	}
+}
+
+func TestTransientErrorsAreBounded(t *testing.T) {
+	// PError=1 with MaxConsecutive=2: exactly two failures per key,
+	// then the operation must go through.
+	s := Wrap(cloud.NewDatastore(), Policy{Seed: 1, PError: 1, MaxConsecutive: 2})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put("k", []byte("v")); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+			continue
+		}
+		break
+	}
+	if fails != 2 {
+		t.Fatalf("injected %d consecutive failures, want 2", fails)
+	}
+	if !s.Exists("k") {
+		t.Fatal("write never landed")
+	}
+}
+
+func TestReadCorruptionIsTransient(t *testing.T) {
+	base := cloud.NewDatastore()
+	payload := bytes.Repeat([]byte{0x11}, 256)
+	base.Put("obj", payload)
+
+	s := Wrap(base, Policy{Seed: 3, PReadCorrupt: 1})
+	data, _, err := s.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(data, payload) {
+		t.Fatal("read corruption did not fire")
+	}
+	// The durable object is untouched: a direct read is clean.
+	clean, _, _ := base.Get("obj")
+	if !bytes.Equal(clean, payload) {
+		t.Fatal("read-side corruption leaked into the store")
+	}
+}
+
+func TestWriteCorruptionIsDurable(t *testing.T) {
+	base := cloud.NewDatastore()
+	s := Wrap(base, Policy{Seed: 5, PWriteCorrupt: 1})
+	payload := bytes.Repeat([]byte{0x22}, 256)
+	if _, err := s.Put("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	stored, _, _ := base.Get("obj")
+	if bytes.Equal(stored, payload) {
+		t.Fatal("write corruption did not fire")
+	}
+	// The caller's buffer must not have been scribbled on.
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0x22}, 256)) {
+		t.Fatal("Put mutated the caller's buffer")
+	}
+}
+
+func TestTruncationShortensReads(t *testing.T) {
+	base := cloud.NewDatastore()
+	base.Put("obj", bytes.Repeat([]byte{0x33}, 512))
+	s := Wrap(base, Policy{Seed: 7, PTruncate: 1})
+	data, _, err := s.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= 512 {
+		t.Fatalf("truncation did not fire: %d bytes", len(data))
+	}
+}
+
+func TestLatencyIsAdded(t *testing.T) {
+	s := Wrap(cloud.NewDatastore(), Policy{Seed: 9, MaxLatency: 10})
+	var base, injected float64
+	for i := 0; i < 20; i++ {
+		tt, err := s.Put("k", bytes.Repeat([]byte{1}, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		injected += float64(tt)
+		base += 1000.0 / 250e6
+	}
+	if injected <= base {
+		t.Errorf("no latency added: %v vs %v", injected, base)
+	}
+	if s.Stats().AddedLatency <= 0 {
+		t.Error("latency not accounted")
+	}
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	run := func() Stats {
+		s := Wrap(cloud.NewDatastore(), Policy{
+			Seed: 42, PError: 0.3, PWriteCorrupt: 0.2, PReadCorrupt: 0.2, PTruncate: 0.1,
+		})
+		for i := 0; i < 50; i++ {
+			s.Put("k", []byte("payload-payload"))
+			s.Get("k")
+		}
+		return s.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+}

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,11 @@ import (
 	"hourglass/internal/sim"
 	"hourglass/internal/units"
 )
+
+// ErrJobExists reports a Submit whose explicit ID collides with a job
+// already in the table. The HTTP layer maps it to 409 Conflict with
+// errors.Is — never by sniffing error strings.
+var ErrJobExists = errors.New("scheduler: job already exists")
 
 // Backend abstracts the simulation system the controller drives, so
 // tests can substitute a stub and the daemon binds to a shared
@@ -90,8 +96,9 @@ type Options struct {
 	// Seed derives deterministic per-recurrence trace offsets.
 	Seed int64
 	// Store, when set, enables state snapshot on shutdown and restore
-	// at construction under SnapshotKey.
-	Store *cloud.Datastore
+	// at construction under SnapshotKey. Any BlobStore works, including
+	// a faultinject.Store: snapshot I/O is retried and checksummed.
+	Store cloud.BlobStore
 	// SnapshotKey names the state object ("" = "scheduler/state.json").
 	SnapshotKey string
 	// Logf receives operational log lines (nil = discard).
@@ -113,8 +120,9 @@ type Controller struct {
 	clock        Clock
 	seed         int64
 	historyLimit int
-	store        *cloud.Datastore
+	store        cloud.BlobStore
 	snapshotKey  string
+	retry        *cloud.Retrier
 	logf         func(string, ...any)
 
 	metrics *Metrics
@@ -168,6 +176,7 @@ func New(opts Options) (*Controller, error) {
 		historyLimit: opts.HistoryLimit,
 		store:        opts.Store,
 		snapshotKey:  opts.SnapshotKey,
+		retry:        cloud.NewRetrier(cloud.RetryPolicy{Seed: opts.Seed}),
 		logf:         opts.Logf,
 		metrics:      NewMetrics(),
 		jobs:         map[string]*jobEntry{},
@@ -212,7 +221,7 @@ func (c *Controller) Submit(spec JobSpec) (JobStatus, error) {
 		spec.ID = formatJobID(c.seq)
 	} else if _, exists := c.jobs[spec.ID]; exists {
 		c.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("scheduler: job %q already exists", spec.ID)
+		return JobStatus{}, fmt.Errorf("job %q already exists: %w", spec.ID, ErrJobExists)
 	}
 	e := &jobEntry{
 		spec:     spec,

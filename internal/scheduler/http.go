@@ -2,8 +2,8 @@ package scheduler
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
-	"strings"
 )
 
 // Handler returns the daemon's control plane:
@@ -50,7 +50,7 @@ func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := c.Submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "already exists") {
+		if errors.Is(err, ErrJobExists) {
 			code = http.StatusConflict
 		}
 		writeError(w, code, err)

@@ -136,12 +136,12 @@ func (a *Aggregates) observe(rec RunRecord, baseline units.USD) {
 
 // JobStatus is the control-plane view of one job.
 type JobStatus struct {
-	Spec      JobSpec    `json:"spec"`
-	Created   time.Time  `json:"created"`
-	NextRun   *time.Time `json:"nextRun,omitempty"` // nil once exhausted
-	Dispatched int       `json:"dispatched"`
-	Completed  int       `json:"completed"`
-	Done       bool      `json:"done"`
+	Spec       JobSpec    `json:"spec"`
+	Created    time.Time  `json:"created"`
+	NextRun    *time.Time `json:"nextRun,omitempty"` // nil once exhausted
+	Dispatched int        `json:"dispatched"`
+	Completed  int        `json:"completed"`
+	Done       bool       `json:"done"`
 	Agg        Aggregates `json:"aggregates"`
 	// DeadlineSeconds is the relative per-recurrence deadline the
 	// slack fraction resolves to.

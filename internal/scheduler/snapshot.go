@@ -1,8 +1,10 @@
 package scheduler
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"time"
 )
 
@@ -27,7 +29,61 @@ type snapshotJob struct {
 	Agg       Aggregates  `json:"aggregates"`
 }
 
-// Snapshot serialises the job table to the configured datastore key.
+// snapshotEnvelope wraps the state document with a CRC32 (IEEE)
+// checksum over the raw State bytes, so a corrupted or truncated
+// snapshot is detected at restore instead of silently reloading
+// garbage. The envelope is itself JSON, keeping the persisted object
+// (and the daemon's -state file mirror) plain text.
+type snapshotEnvelope struct {
+	CRC32 string          `json:"crc32"`
+	State json.RawMessage `json:"state"`
+}
+
+// stateCRC checksums the *compacted* state document. JSON encoders
+// re-indent nested RawMessage bytes, so the exact byte layout is not
+// stable across a seal/open round trip — the whitespace-free form is.
+func stateCRC(state []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, state); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(compact.Bytes())), nil
+}
+
+// sealSnapshot wraps state bytes in a checksummed envelope.
+func sealSnapshot(state []byte) ([]byte, error) {
+	crc, err := stateCRC(state)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(snapshotEnvelope{CRC32: crc, State: state}, "", "  ")
+}
+
+// openSnapshot validates an envelope and returns the state bytes. A
+// legacy snapshot (plain snapshotState document, no envelope) is
+// accepted without checksum verification so pre-envelope state files
+// still restore.
+func openSnapshot(blob []byte) ([]byte, error) {
+	var env snapshotEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("parsing snapshot envelope: %w", err)
+	}
+	if env.CRC32 == "" && env.State == nil {
+		// Legacy format: the blob is the state document itself.
+		return blob, nil
+	}
+	want, err := stateCRC(env.State)
+	if err != nil {
+		return nil, fmt.Errorf("compacting snapshot state: %w", err)
+	}
+	if env.CRC32 != want {
+		return nil, fmt.Errorf("snapshot checksum mismatch: header %s, computed %s", env.CRC32, want)
+	}
+	return env.State, nil
+}
+
+// Snapshot serialises the job table to the configured datastore key,
+// sealed with a checksum and retried across transient store errors.
 func (c *Controller) Snapshot() error {
 	if c.store == nil {
 		return fmt.Errorf("scheduler: no snapshot store configured")
@@ -56,9 +112,20 @@ func (c *Controller) Snapshot() error {
 	if err != nil {
 		return err
 	}
-	c.store.Put(c.snapshotKey, data)
+	sealed, err := sealSnapshot(data)
+	if err != nil {
+		return err
+	}
+	// The retrier's delay is virtual time; the controller runs on the
+	// wall clock, so only the outcome matters here.
+	if _, err := c.retry.Do(func() error {
+		_, err := c.store.Put(c.snapshotKey, sealed)
+		return err
+	}); err != nil {
+		return fmt.Errorf("scheduler: writing snapshot %s: %w", c.snapshotKey, err)
+	}
 	c.metrics.Inc(MetricSnapshots)
-	c.logf("scheduler: snapshot %s (%d jobs, %d bytes)", c.snapshotKey, len(state.Jobs), len(data))
+	c.logf("scheduler: snapshot %s (%d jobs, %d bytes)", c.snapshotKey, len(state.Jobs), len(sealed))
 	return nil
 }
 
@@ -66,14 +133,30 @@ func (c *Controller) Snapshot() error {
 // before the loop starts, so no locking hazards). Every spec is
 // re-admitted through the backend so deadline/horizon/baseline come
 // from the live market, not the snapshot.
+//
+// A snapshot that cannot be read or fails its checksum is *skipped* —
+// the daemon logs the damage and starts with an empty job table
+// rather than refusing to boot or restoring corrupt state. Re-admit
+// failures, by contrast, are real configuration errors and abort.
 func (c *Controller) restore() error {
-	data, _, err := c.store.Get(c.snapshotKey)
-	if err != nil {
+	var blob []byte
+	if _, err := c.retry.Do(func() error {
+		b, _, err := c.store.Get(c.snapshotKey)
+		blob = b
 		return err
+	}); err != nil {
+		c.logf("scheduler: snapshot %s unreadable (%v), starting fresh", c.snapshotKey, err)
+		return nil
+	}
+	data, err := openSnapshot(blob)
+	if err != nil {
+		c.logf("scheduler: snapshot %s corrupt (%v), starting fresh", c.snapshotKey, err)
+		return nil
 	}
 	var state snapshotState
 	if err := json.Unmarshal(data, &state); err != nil {
-		return err
+		c.logf("scheduler: snapshot %s undecodable (%v), starting fresh", c.snapshotKey, err)
+		return nil
 	}
 	c.seq = state.Seq
 	for _, sj := range state.Jobs {

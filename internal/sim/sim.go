@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -126,12 +127,14 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			wLive = wDurable
 			res.Reconfigs++
 			configs := append([]cloud.Config{dec.Config}, dec.Extra...)
+			avails := make([]units.Seconds, len(configs))
 			readyAt := t
-			for _, c := range configs {
+			for i, c := range configs {
 				avail, err := market.NextAvailable(c, t)
 				if err != nil {
 					return res, err
 				}
+				avails[i] = avail
 				cs, ok := env.StatsFor(c)
 				if !ok {
 					return res, fmt.Errorf("sim: unknown replica config %s", c.ID())
@@ -142,9 +145,8 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 				}
 			}
 			// Pay for each replica from its availability to readiness.
-			for _, c := range configs {
-				avail, _ := market.NextAvailable(c, t)
-				cost, err := market.Cost(c, avail, readyAt)
+			for i, c := range configs {
+				cost, err := market.Cost(c, avails[i], readyAt)
 				if err != nil {
 					return res, err
 				}
@@ -264,38 +266,49 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 		tl.add(PhaseCompute, t, segEnd, primary.Config.ID(), wLive)
 		t = segEnd
 
-		// Persist state: a checkpoint if mid-job, the output write if done.
+		// Persist state: a checkpoint if mid-job, the output write if
+		// done. A replica evicted mid-save is billed only up to its
+		// eviction and counted; as long as one replica survives the
+		// window, its save completes and the run proceeds. Only a total
+		// loss fails the save and rolls back to the durable checkpoint.
 		saveEnd := t + primary.Save
-		interrupted := false
+		var savers []replica
+		var evTimes []units.Seconds
 		for i := range live {
 			if live[i].evict < saveEnd {
-				interrupted = true
+				cost, err := market.Cost(live[i].stats.Config, t, live[i].evict)
+				if err != nil {
+					return res, err
+				}
+				res.Cost += cost
+				evTimes = append(evTimes, live[i].evict)
+				continue
 			}
-		}
-		if interrupted && len(live) == 1 {
-			// Eviction during the save: the checkpoint fails.
-			ev := live[0].evict
-			cost, err := market.Cost(live[0].stats.Config, t, ev)
-			if err != nil {
-				return res, err
-			}
-			res.Cost += cost
-			res.Evictions++
-			tl.add(PhaseSave, t, ev, primary.Config.ID(), wLive)
-			tl.add(PhaseEvicted, ev, ev, primary.Config.ID(), wLive)
-			t = ev
-			wLive = wDurable
-			live = nil
-			continue
-		}
-		for i := range live {
 			cost, err := market.Cost(live[i].stats.Config, t, saveEnd)
 			if err != nil {
 				return res, err
 			}
 			res.Cost += cost
+			savers = append(savers, live[i])
 		}
-		tl.add(PhaseSave, t, saveEnd, primary.Config.ID(), wLive)
+		sort.Slice(evTimes, func(i, j int) bool { return evTimes[i] < evTimes[j] })
+		res.Evictions += len(evTimes)
+		segStart := t
+		for _, ev := range evTimes {
+			tl.add(PhaseSave, segStart, ev, primary.Config.ID(), wLive)
+			tl.add(PhaseEvicted, ev, ev, primary.Config.ID(), wLive)
+			segStart = ev
+		}
+		if len(savers) == 0 && len(evTimes) > 0 {
+			// Every replica vanished before the save finished: the
+			// checkpoint fails, roll back to the last durable one.
+			t = segStart
+			wLive = wDurable
+			live = nil
+			continue
+		}
+		live = savers
+		tl.add(PhaseSave, segStart, saveEnd, primary.Config.ID(), wLive)
 		t = saveEnd
 		if wLive > 0 {
 			if dec.UseCheckpoints {

@@ -294,3 +294,164 @@ func TestHorizonExported(t *testing.T) {
 		t.Errorf("horizon %v", h)
 	}
 }
+
+// replicatedStub always asks for a two-replica deployment (SpotOn
+// style: primary + one buddy, checkpointing off).
+type replicatedStub struct {
+	primary, extra cloud.Config
+}
+
+func (p *replicatedStub) Name() string { return "replicated-stub" }
+
+func (p *replicatedStub) Decide(core.State) (core.Decision, error) {
+	return core.Decision{
+		Config:   p.primary,
+		Replicas: 2,
+		Extra:    []cloud.Config{p.extra},
+	}, nil
+}
+
+// flatTrace builds a step-1s price trace at a deep discount, with an
+// optional spike above on-demand over [spikeAt, spikeAt+spikeLen).
+func flatTrace(it cloud.InstanceType, dur, spikeAt, spikeLen units.Seconds) *cloud.PriceTrace {
+	prices := make([]float64, int(dur))
+	for i := range prices {
+		prices[i] = 0.25 * float64(it.OnDemand)
+	}
+	for i := int(spikeAt); spikeLen > 0 && i < int(spikeAt+spikeLen) && i < len(prices); i++ {
+		prices[i] = 3 * float64(it.OnDemand)
+	}
+	return &cloud.PriceTrace{Instance: it.Name, Step: 1, Prices: prices}
+}
+
+// replicatedSaveFixture computes the deployment geometry of a
+// two-replica run on flat traces and returns an env whose traces spike
+// the selected instances inside the save window of the first segment.
+func replicatedSaveFixture(t *testing.T, spikeBoth bool) (*core.Env, *replicatedStub, units.Seconds) {
+	t.Helper()
+	historical := cloud.GenerateSet(cloud.Catalogue(), cloud.GenParams{Days: 8, Seed: 1010})
+	em, err := cloud.BuildEvictionModel(historical, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkEnv := func(ts cloud.TraceSet) *core.Env {
+		env, err := core.NewEnv(perfmodel.JobPageRank, perfmodel.Default(),
+			cloud.DefaultConfigs(), cloud.NewMarket(ts), em)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	const dur = 2 * units.Day
+	flat := cloud.TraceSet{}
+	for _, it := range cloud.Catalogue() {
+		flat[it.Name] = flatTrace(it, dur, 0, 0)
+	}
+	env := mkEnv(flat)
+
+	// Two transient configs on distinct instance types (distinct
+	// markets, so one can be evicted while the other survives). Save
+	// time shrinks with node count, so pick the configs with the
+	// longest save windows to give the spike a target.
+	var prim, extra *core.ConfigStats
+	for i := range env.Stats {
+		c := env.Stats[i].Config
+		if !c.Transient {
+			continue
+		}
+		if prim == nil || env.Stats[i].Save > prim.Save {
+			prim = &env.Stats[i]
+		}
+	}
+	for i := range env.Stats {
+		c := env.Stats[i].Config
+		if !c.Transient || c.Instance.Name == prim.Config.Instance.Name {
+			continue
+		}
+		if extra == nil || env.Stats[i].Save > extra.Save {
+			extra = &env.Stats[i]
+		}
+	}
+	if prim == nil || extra == nil {
+		t.Fatal("config set lacks two transient instance types")
+	}
+	if prim.Save < 2 {
+		t.Fatalf("save window %v too short to aim a spike into", prim.Save)
+	}
+
+	// First segment geometry (start 0, flat market: immediately
+	// available): deploy to readyAt, compute one full pass, then save.
+	readyAt := prim.Boot + prim.Load
+	if ra := extra.Boot + extra.Load; ra > readyAt {
+		readyAt = ra
+	}
+	segEnd := readyAt + prim.Exec
+	spikeAt := segEnd + prim.Save/2
+
+	spiked := cloud.TraceSet{}
+	for _, it := range cloud.Catalogue() {
+		hit := it.Name == extra.Config.Instance.Name ||
+			(spikeBoth && it.Name == prim.Config.Instance.Name)
+		if hit {
+			spiked[it.Name] = flatTrace(it, dur, spikeAt, 15*units.Minute)
+		} else {
+			spiked[it.Name] = flatTrace(it, dur, 0, 0)
+		}
+	}
+	env = mkEnv(spiked)
+	return env, &replicatedStub{primary: prim.Config, extra: extra.Config}, segEnd + prim.Save
+}
+
+func TestReplicaEvictedDuringSaveIsDroppedAndBilledToEviction(t *testing.T) {
+	// Regression: with more than one live replica, a replica evicted
+	// inside the save window used to be billed through the end of the
+	// save, never counted as an eviction, and left in the live set.
+	env, stub, saveEnd := replicatedSaveFixture(t, false)
+	r := &Runner{Env: env, Trace: true}
+	res, err := r.Run(stub, 0, 2*units.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("run did not finish")
+	}
+	if res.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (buddy lost mid-save)", res.Evictions)
+	}
+	if res.Timeline.Evictions() != 1 {
+		t.Errorf("timeline evictions = %d, want 1", res.Timeline.Evictions())
+	}
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatalf("timeline invalid: %v\n%s", err, res.Timeline)
+	}
+	// The surviving primary completes the save on schedule.
+	if !approxSeconds(res.Completion, saveEnd, 1) {
+		t.Errorf("completion %v, want ≈ %v", res.Completion, saveEnd)
+	}
+}
+
+func TestAllReplicasEvictedDuringSaveRollsBack(t *testing.T) {
+	// Total loss mid-save: the save fails, the run rolls back and
+	// redeploys once the market recovers, and both evictions count.
+	env, stub, saveEnd := replicatedSaveFixture(t, true)
+	r := &Runner{Env: env, Trace: true}
+	res, err := r.Run(stub, 0, 2*units.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("run did not finish")
+	}
+	if res.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", res.Evictions)
+	}
+	if res.Reconfigs != 2 {
+		t.Errorf("reconfigs = %d, want 2 (initial deploy + recovery)", res.Reconfigs)
+	}
+	if res.Completion <= saveEnd {
+		t.Errorf("completion %v not after the failed save %v", res.Completion, saveEnd)
+	}
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatalf("timeline invalid: %v\n%s", err, res.Timeline)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"hourglass/internal/units"
@@ -109,9 +110,14 @@ func (tl *Timeline) String() string {
 }
 
 // Validate checks structural invariants: phases are time-ordered and
-// non-negative, work never increases except at eviction rollbacks.
+// non-negative, work never increases except at eviction rollbacks. A
+// rollback surfaces as a deploy phase re-anchored to the durable
+// frontier, so a work increase recorded anywhere else — mid-compute,
+// mid-save, at an eviction marker — is a bookkeeping bug (billing a
+// dead replica, resurrecting lost progress) and fails validation.
 func (tl *Timeline) Validate() error {
 	var prevEnd units.Seconds
+	prevW := math.Inf(1)
 	for i, p := range tl.Phases {
 		if p.End < p.Start {
 			return fmt.Errorf("phase %d: negative span [%v, %v]", i, p.Start, p.End)
@@ -119,7 +125,12 @@ func (tl *Timeline) Validate() error {
 		if p.Start < prevEnd-1e-9 {
 			return fmt.Errorf("phase %d: overlaps previous (starts %v before %v)", i, p.Start, prevEnd)
 		}
+		if p.Kind != PhaseDeploy && p.WorkLeft > prevW+1e-9 {
+			return fmt.Errorf("phase %d (%v): work left rose %.6f -> %.6f outside a deploy",
+				i, p.Kind, prevW, p.WorkLeft)
+		}
 		prevEnd = p.End
+		prevW = p.WorkLeft
 	}
 	return nil
 }

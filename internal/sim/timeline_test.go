@@ -107,6 +107,40 @@ func TestPhaseKindString(t *testing.T) {
 	}
 }
 
+func TestTimelineValidateCatchesWorkIncrease(t *testing.T) {
+	// Regression: Validate documented "work never increases except at
+	// eviction rollbacks" but never checked it, so a timeline recording
+	// resurrected progress (the signature of billing or bookkeeping
+	// bugs) validated clean.
+	bad := &Timeline{Phases: []Phase{
+		{Kind: PhaseDeploy, Start: 0, End: 10, WorkLeft: 1.0},
+		{Kind: PhaseCompute, Start: 10, End: 20, WorkLeft: 0.5},
+		{Kind: PhaseCompute, Start: 20, End: 30, WorkLeft: 0.8}, // work rose mid-compute
+	}}
+	if bad.Validate() == nil {
+		t.Error("work increase outside a deploy accepted")
+	}
+	badSave := &Timeline{Phases: []Phase{
+		{Kind: PhaseCompute, Start: 0, End: 10, WorkLeft: 0.4},
+		{Kind: PhaseSave, Start: 10, End: 15, WorkLeft: 0.6},
+	}}
+	if badSave.Validate() == nil {
+		t.Error("work increase at a save accepted")
+	}
+	// A rollback re-anchors at a deploy: that increase is legitimate.
+	rollback := &Timeline{Phases: []Phase{
+		{Kind: PhaseDeploy, Start: 0, End: 10, WorkLeft: 1.0},
+		{Kind: PhaseCompute, Start: 10, End: 20, WorkLeft: 0.5},
+		{Kind: PhaseEvicted, Start: 20, End: 20, WorkLeft: 0.5},
+		{Kind: PhaseDeploy, Start: 20, End: 30, WorkLeft: 1.0}, // back to the durable frontier
+		{Kind: PhaseCompute, Start: 30, End: 50, WorkLeft: 0},
+		{Kind: PhaseDone, Start: 50, End: 50, WorkLeft: 0},
+	}}
+	if err := rollback.Validate(); err != nil {
+		t.Errorf("legitimate rollback rejected: %v", err)
+	}
+}
+
 func TestTimelineValidateCatchesOverlap(t *testing.T) {
 	tl := &Timeline{Phases: []Phase{
 		{Kind: PhaseCompute, Start: 10, End: 20},
