@@ -22,6 +22,7 @@ import (
 	"hourglass/internal/engine"
 	"hourglass/internal/graph"
 	"hourglass/internal/micro"
+	"hourglass/internal/obs"
 	"hourglass/internal/partition"
 	"hourglass/internal/units"
 )
@@ -44,6 +45,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceFile  = flag.String("trace", "", "write a runtime/trace to this file")
+		traceOut   = flag.String("trace-out", "", "write per-superstep engine events (JSONL) to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +67,14 @@ func main() {
 	}
 
 	cfg := engine.Config{Workers: *workers}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Sink = obs.NewJSONL(f)
+	}
 	if *usePart {
 		mp, err := micro.BuildForConfigs(g, partition.Multilevel{Seed: 1}, []int{*workers}, nil)
 		if err != nil {

@@ -14,6 +14,8 @@
 //
 //	curl -s localhost:8080/jobs/job-1/history | head
 //	curl -s localhost:8080/metrics | grep hourglass_cost
+//	curl -s localhost:8080/debug/trace | tail        # recent trace events
+//	go tool pprof localhost:8080/debug/pprof/profile # CPU profile
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"hourglass"
 	"hourglass/internal/cloud"
 	"hourglass/internal/faultinject"
+	"hourglass/internal/obs"
 	"hourglass/internal/scheduler"
 	"hourglass/internal/units"
 )
@@ -41,6 +44,8 @@ func main() {
 	history := flag.Int("history", 1024, "retained run records per job")
 	state := flag.String("state", "", "state file: restored at boot, written on shutdown")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	traceRing := flag.Int("trace-ring", 4096, "trace events retained for /debug/trace (0 disables tracing)")
+	traceOut := flag.String("trace-out", "", "append the full trace event stream to this JSONL file")
 	chaos := flag.Bool("chaos", false, "inject seeded faults into the snapshot store (soak testing)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed")
 	chaosErr := flag.Float64("chaos-error-rate", 0.2, "probability of a transient store error per op")
@@ -84,13 +89,32 @@ func main() {
 			*chaosSeed, *chaosErr, *chaosCorrupt, *chaosLatency)
 	}
 
+	// The trace plane: a ring answers /debug/trace, optionally teeing
+	// the full stream to a JSONL file. The same sink sees the
+	// controller's per-run events and the simulator's per-decision
+	// stream (wired through the backend).
+	var sink obs.Sink
+	if *traceRing > 0 {
+		var out obs.Sink
+		if *traceOut != "" {
+			f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("opening trace file: %v", err)
+			}
+			defer f.Close()
+			out = obs.NewJSONL(f)
+		}
+		sink = obs.NewTracer(*traceRing, out)
+	}
+
 	ctrl, err := scheduler.New(scheduler.Options{
-		Backend:      scheduler.SystemBackend{Sys: sys},
+		Backend:      scheduler.SystemBackend{Sys: sys, Sink: sink},
 		Workers:      *workers,
 		HistoryLimit: *history,
 		Seed:         *seed,
 		Store:        store,
 		SnapshotKey:  snapshotKey,
+		Sink:         sink,
 		Logf:         log.Printf,
 	})
 	if err != nil {

@@ -9,6 +9,13 @@
 // months (deterministic per seed); bars print as normalized cost vs.
 // the on-demand baseline with the missed-deadline percentage alongside,
 // matching the figures' layout.
+//
+// With -trace-out, a single seeded run executes instead and its full
+// decision/lifecycle event stream is exported as JSONL; fold it back
+// into a summary with `hourglass-trace -summary`:
+//
+//	hourglass-sim -trace-out run.jsonl -job graphcoloring -strategy hourglass -slack 0.5
+//	hourglass-trace -summary run.jsonl
 package main
 
 import (
@@ -17,18 +24,30 @@ import (
 	"os"
 
 	"hourglass"
+	"hourglass/internal/obs"
 	"hourglass/internal/perfmodel"
+	"hourglass/internal/sim"
+	"hourglass/internal/units"
 )
 
 func main() {
 	var (
-		fig  = flag.Int("fig", 5, "figure to regenerate (1, 5, or 7)")
-		runs = flag.Int("runs", 200, "simulations per bar (paper: 2000)")
-		seed = flag.Int64("seed", 42, "trace seed")
-		days = flag.Float64("days", 10, "length of each synthetic price month")
+		fig      = flag.Int("fig", 5, "figure to regenerate (1, 5, or 7)")
+		runs     = flag.Int("runs", 200, "simulations per bar (paper: 2000)")
+		seed     = flag.Int64("seed", 42, "trace seed")
+		days     = flag.Float64("days", 10, "length of each synthetic price month")
+		traceOut = flag.String("trace-out", "", "run one traced simulation and write its JSONL event stream here")
+		jobKind  = flag.String("job", "pagerank", "job for -trace-out (sssp | pagerank | graphcoloring)")
+		strategy = flag.String("strategy", "hourglass", "provisioning strategy for -trace-out")
+		slack    = flag.Float64("slack", 0.5, "slack fraction for -trace-out")
+		start    = flag.Float64("start", 0, "trace start offset in seconds for -trace-out")
 	)
 	flag.Parse()
 
+	if *traceOut != "" {
+		tracedRun(*traceOut, *jobKind, *strategy, *slack, *start, *seed, *days)
+		return
+	}
 	switch *fig {
 	case 1:
 		figure1(*runs, *seed, *days)
@@ -40,6 +59,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hourglass-sim: -fig must be 1, 5 or 7")
 		os.Exit(2)
 	}
+}
+
+// tracedRun executes one simulation with the obs sink attached and
+// prints the same cost/evictions/deadline numbers the folded trace
+// reproduces.
+func tracedRun(out, jobName, strategy string, slack, start float64, seed int64, days float64) {
+	kind, err := hourglass.ParseJobKind(jobName)
+	if err != nil {
+		fatal(err)
+	}
+	st := hourglass.Strategy(strategy)
+	if err := hourglass.ValidateStrategy(st); err != nil {
+		fatal(err)
+	}
+	sys := newSystem(seed, days, nil)
+	env, err := sys.Env(kind)
+	if err != nil {
+		fatal(err)
+	}
+	prov, err := sys.Provisioner(kind, st)
+	if err != nil {
+		fatal(err)
+	}
+	deadline, err := sys.DeadlineFor(kind, slack)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sink := obs.NewJSONL(f)
+
+	runner := &sim.Runner{Env: env, Sink: sink}
+	res, err := runner.Run(prov, units.Seconds(start), units.Seconds(start)+deadline)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		fatal(err)
+	}
+	met := "met"
+	if res.MissedDeadline || !res.Finished {
+		met = "MISSED"
+	}
+	fmt.Printf("%s/%s slack %.0f%%: cost $%.4f, deadline %s, %d evictions, %d reconfigs, %d checkpoints, %d decisions\n",
+		jobName, strategy, slack*100, float64(res.Cost), met,
+		res.Evictions, res.Reconfigs, res.Checkpoints, res.Decisions)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }
 
 func newSystem(seed int64, days float64, model *perfmodel.Model) *hourglass.System {

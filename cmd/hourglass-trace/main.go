@@ -7,6 +7,12 @@
 //	hourglass-trace -stats                      # market summary of a synthetic month
 //	hourglass-trace -gen r4.4xlarge -out t.csv  # export a synthetic trace
 //	hourglass-trace -in t.csv -instance r4.4xlarge -stats
+//
+// It also folds execution traces (the JSONL event streams written by
+// `hourglass-sim -trace-out` and `hourglass-serve -trace-out`) into a
+// Table-2-style cost / evictions / deadline summary:
+//
+//	hourglass-trace -summary run.jsonl
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 
 	"hourglass/internal/cloud"
+	"hourglass/internal/obs"
 	"hourglass/internal/units"
 )
 
@@ -28,10 +35,22 @@ func main() {
 		days     = flag.Float64("days", 10, "synthetic trace length")
 		seed     = flag.Int64("seed", 42, "synthetic trace seed")
 		step     = flag.Float64("step", 60, "resample step for -in (seconds)")
+		summary  = flag.String("summary", "", "fold a JSONL execution trace into a cost/evictions/misses summary")
 	)
 	flag.Parse()
 
 	switch {
+	case *summary != "":
+		f, err := os.Open(*summary)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		events, err := obs.ReadJSONL(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(obs.Summarize(events).String())
 	case *in != "":
 		it, err := cloud.InstanceByName(*instance)
 		if err != nil {

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
+	"hourglass/internal/obs"
 	"hourglass/internal/units"
 )
 
@@ -53,6 +55,14 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 type Retrier struct {
 	policy RetryPolicy
 
+	// Sink, when set, receives one obs.EvRetry event per Do call that
+	// needed more than one attempt (carrying the attempt count and the
+	// last error). Set it before the Retrier is shared.
+	Sink obs.Sink
+
+	attempts atomic.Int64 // op invocations across all Do calls
+	retried  atomic.Int64 // invocations beyond each Do's first
+
 	mu  sync.Mutex
 	rng *rand.Rand
 }
@@ -70,11 +80,19 @@ func (r *Retrier) Do(op func() error) (units.Seconds, error) {
 	var delay units.Seconds
 	backoff := r.policy.Base
 	var err error
+	tries := 0
 	for attempt := 0; attempt < r.policy.Attempts; attempt++ {
+		tries++
+		r.attempts.Add(1)
+		if attempt > 0 {
+			r.retried.Add(1)
+		}
 		if err = op(); err == nil {
+			r.report(tries, delay, nil)
 			return delay, nil
 		}
 		if errors.Is(err, ErrNotFound) {
+			r.report(tries, delay, err)
 			return delay, err
 		}
 		if attempt == r.policy.Attempts-1 {
@@ -86,5 +104,26 @@ func (r *Retrier) Do(op func() error) (units.Seconds, error) {
 		delay += units.Seconds(float64(backoff) * (1 - r.policy.Jitter + r.policy.Jitter*u))
 		backoff = units.Seconds(float64(backoff) * r.policy.Factor)
 	}
+	r.report(tries, delay, err)
 	return delay, err
+}
+
+// report emits a retry trace event when a Do call needed more than one
+// attempt. Single-attempt successes stay silent: they are the steady
+// state and would drown the ring.
+func (r *Retrier) report(tries int, delay units.Seconds, err error) {
+	if r.Sink == nil || tries <= 1 {
+		return
+	}
+	e := obs.Event{Type: obs.EvRetry, Attempts: tries, DurSec: float64(delay)}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	r.Sink.Emit(e)
+}
+
+// Stats reports the op invocations made across all Do calls and how
+// many of those were retries (beyond each call's first attempt).
+func (r *Retrier) Stats() (attempts, retried int64) {
+	return r.attempts.Load(), r.retried.Load()
 }

@@ -40,8 +40,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"hourglass/internal/graph"
+	"hourglass/internal/obs"
 )
 
 // Message is the unit exchanged between vertices. All bundled programs
@@ -85,6 +87,7 @@ func (c *Context) Send(dst graph.VertexID, val float64) {
 	if r.comb != nil {
 		if w.accSet[dst] {
 			w.accVal[dst] = r.comb.Combine(w.accVal[dst], val)
+			w.comb++
 		} else {
 			w.accSet[dst] = true
 			w.accVal[dst] = val
@@ -195,6 +198,11 @@ type Config struct {
 	// CollectStepStats records per-superstep activity into
 	// Result.StepStats (costs one pass of bookkeeping per step).
 	CollectStepStats bool
+	// Sink, when set, receives one obs.EvSuperstep event per superstep
+	// (frontier size, messages sent/combined, wall ns, arena bytes).
+	// A nil sink costs nothing on the hot path: no timing, no event
+	// construction, no allocations.
+	Sink obs.Sink
 }
 
 // ErrPaused is returned when Config.StopAfter interrupted the run; the
@@ -265,6 +273,7 @@ type run struct {
 
 	collectSteps bool
 	stepStats    []StepStats
+	sink         obs.Sink
 }
 
 type worker struct {
@@ -291,6 +300,7 @@ type worker struct {
 	sent     int64
 	calls    int64
 	remote   int64
+	comb     int64 // sends folded into an occupied slot (combiner path)
 }
 
 // Run executes prog on g under cfg, starting from scratch.
@@ -386,6 +396,7 @@ func newRun(g *graph.Graph, prog Program, cfg Config) (*run, error) {
 		}
 	}
 	r.collectSteps = cfg.CollectStepStats
+	r.sink = cfg.Sink
 	if c, ok := prog.(Combiner); ok {
 		r.comb = c
 		r.inVal = make([]float64, n)
@@ -544,6 +555,10 @@ func (r *run) anyWork() bool {
 // the barrier.
 func (r *run) step() {
 	comb := r.comb != nil
+	var stepStart time.Time
+	if r.sink != nil {
+		stepStart = time.Now()
+	}
 	var wg sync.WaitGroup
 	for _, w := range r.workers {
 		wg.Add(1)
@@ -594,14 +609,15 @@ func (r *run) step() {
 	}
 	dg.Wait()
 
-	var stepSent, stepCalls int64
+	var stepSent, stepCalls, stepComb int64
 	for _, w := range r.workers {
 		stepSent += w.sent
 		stepCalls += w.calls
+		stepComb += w.comb
 		r.sent += w.sent
 		r.calls += w.calls
 		r.remote += w.remote
-		w.sent, w.calls, w.remote = 0, 0, 0
+		w.sent, w.calls, w.remote, w.comb = 0, 0, 0, 0
 	}
 	if r.collectSteps {
 		r.stepStats = append(r.stepStats, StepStats{
@@ -626,6 +642,22 @@ func (r *run) step() {
 	}
 	for _, w := range r.workers {
 		w.cur, w.next = w.next, w.cur
+	}
+	if r.sink != nil {
+		var arena int64
+		for _, w := range r.workers {
+			arena += int64(len(w.arena)) * 8
+		}
+		r.sink.Emit(obs.Event{
+			Type:       obs.EvSuperstep,
+			Job:        r.prog.Name(),
+			Superstep:  r.superstep + 1, // 1-based, so the last event equals Stats.Supersteps
+			Active:     stepCalls,
+			Messages:   stepSent,
+			Combined:   stepComb,
+			NsStep:     time.Since(stepStart).Nanoseconds(),
+			ArenaBytes: arena,
+		})
 	}
 	r.superstep++
 }

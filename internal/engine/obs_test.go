@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"hourglass/internal/graph"
+	"hourglass/internal/obs"
+)
+
+type captureSink struct{ events []obs.Event }
+
+func (c *captureSink) Emit(e obs.Event) { c.events = append(c.events, e) }
+
+// TestSuperstepEvents checks the engine's per-superstep trace stream:
+// one EvSuperstep per superstep, aggregate counters matching Stats,
+// monotonic superstep numbers, and wall-clock timings present.
+func TestSuperstepEvents(t *testing.T) {
+	g := graph.Path(64)
+	sink := &captureSink{}
+	res := runOK(t, g, &SSSP{Source: 0}, Config{Workers: 3, Sink: sink})
+
+	if len(sink.events) != res.Stats.Supersteps {
+		t.Fatalf("got %d superstep events, want %d", len(sink.events), res.Stats.Supersteps)
+	}
+	var msgs, calls int64
+	for i, e := range sink.events {
+		if e.Type != obs.EvSuperstep {
+			t.Fatalf("event %d: type %q, want %q", i, e.Type, obs.EvSuperstep)
+		}
+		if e.Superstep != i+1 {
+			t.Errorf("event %d: superstep %d, want %d", i, e.Superstep, i+1)
+		}
+		if e.Job != "sssp" {
+			t.Errorf("event %d: job %q, want sssp", i, e.Job)
+		}
+		if e.NsStep < 0 {
+			t.Errorf("event %d: negative ns %d", i, e.NsStep)
+		}
+		if e.ArenaBytes < 0 {
+			t.Errorf("event %d: negative arena bytes %d", i, e.ArenaBytes)
+		}
+		msgs += e.Messages
+		calls += e.Active
+	}
+	if msgs != int64(res.Stats.MessagesSent) {
+		t.Errorf("summed messages %d, Stats.MessagesSent %d", msgs, res.Stats.MessagesSent)
+	}
+	if calls != int64(res.Stats.ComputeCalls) {
+		t.Errorf("summed active %d, Stats.ComputeCalls %d", calls, res.Stats.ComputeCalls)
+	}
+}
+
+// TestSuperstepCombinedCounter: PageRank's combiner folds same-target
+// messages at the sender, so on a dense graph the combined count must
+// be visible in the trace and bounded by the logical message count.
+func TestSuperstepCombinedCounter(t *testing.T) {
+	g := graph.Complete(32)
+	sink := &captureSink{}
+	runOK(t, g, &PageRank{Iterations: 3}, Config{Workers: 2, Sink: sink})
+
+	var combined, msgs int64
+	for _, e := range sink.events {
+		combined += e.Combined
+		msgs += e.Messages
+	}
+	if combined == 0 {
+		t.Error("complete-graph PageRank folded no messages at the sender")
+	}
+	if combined > msgs {
+		t.Errorf("combined %d exceeds logical messages %d", combined, msgs)
+	}
+}
+
+// TestNilSinkIdenticalResults: tracing must not perturb execution.
+func TestNilSinkIdenticalResults(t *testing.T) {
+	g := graph.Path(32)
+	plain := runOK(t, g, &SSSP{Source: 0}, Config{Workers: 2})
+	traced := runOK(t, g, &SSSP{Source: 0}, Config{Workers: 2, Sink: &captureSink{}})
+	if plain.Stats != traced.Stats {
+		t.Errorf("stats diverged: %+v vs %+v", plain.Stats, traced.Stats)
+	}
+	for v := range plain.Values {
+		if plain.Values[v] != traced.Values[v] {
+			t.Fatalf("values diverged at %d", v)
+		}
+	}
+}

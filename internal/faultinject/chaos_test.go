@@ -12,6 +12,7 @@ package faultinject_test
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -35,6 +36,16 @@ const (
 	schedulerSchedules  = 20
 	totalFaultSchedules = engineSchedules + simSchedules + schedulerSchedules
 )
+
+// chaosSeedBase shifts every schedule's seed, so a soak run can sweep
+// a fresh seed range each night instead of replaying the same 100
+// schedules forever:
+//
+//	go test ./internal/faultinject/ -chaos-seed-base=$(( $(date +%s) / 86400 * 100 ))
+//
+// The default 0 keeps CI and local runs deterministic; a reported
+// failure names the effective seed, which replays with the same base.
+var chaosSeedBase = flag.Int64("chaos-seed-base", 0, "offset added to every chaos schedule seed")
 
 func TestChaosSuiteCoversAHundredSchedules(t *testing.T) {
 	if totalFaultSchedules < 100 {
@@ -102,7 +113,7 @@ func TestChaosEngineCrashReloadCycles(t *testing.T) {
 
 	var injected int64
 	for i := 0; i < engineSchedules; i++ {
-		seed := int64(1000 + i)
+		seed := *chaosSeedBase + int64(1000+i)
 		a := apps[i%len(apps)]
 		w := workers[i%len(workers)]
 		t.Run(fmt.Sprintf("seed=%d/%s/w=%d", seed, a.name, w), func(t *testing.T) {
@@ -183,7 +194,7 @@ func TestChaosSimProvisioningInvariants(t *testing.T) {
 	warnings := []units.Seconds{0, 120}
 
 	for i := 0; i < simSchedules; i++ {
-		seed := int64(9000 + i)
+		seed := *chaosSeedBase + int64(9000+i)
 		job := jobs[i%len(jobs)]
 		slack := slacks[i%len(slacks)]
 		warn := warnings[i%len(warnings)]
@@ -289,7 +300,7 @@ func TestChaosControllerSnapshotRestore(t *testing.T) {
 	epoch := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
 	restored := 0
 	for i := 0; i < schedulerSchedules; i++ {
-		seed := int64(40_000 + i)
+		seed := *chaosSeedBase + int64(40_000+i)
 		store := faultinject.Wrap(cloud.NewDatastore(), chaosPolicy(seed))
 		vc := scheduler.NewVirtualClock(epoch)
 		c1, err := scheduler.New(scheduler.Options{

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a dependency-free metrics registry rendered in
+// Prometheus text exposition format: plain counters and gauges,
+// histograms, and single-label counter families ("labeled series").
+// All methods are safe for concurrent use. Names follow Prometheus
+// conventions; metrics auto-register on first touch so publishers
+// never need a registration phase, but pre-registering (Add with a
+// zero delta) makes the full surface visible to the first scrape.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+	families map[string]*family
+	help     map[string]string
+}
+
+// histogram buckets hold per-bucket (non-cumulative) counts; the
+// cumulative `le` form Prometheus expects is derived at render.
+type histogram struct {
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // len(buckets)+1; last is the +Inf overflow
+	sum     float64
+	count   uint64
+}
+
+// family is a counter family with one label key.
+type family struct {
+	label string
+	vals  map[string]float64 // label value -> counter
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histogram{},
+		families: map[string]*family{},
+		help:     map[string]string{},
+	}
+}
+
+// SetHelp attaches a HELP line to a metric name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Add increments a counter by delta (registering it at zero first).
+func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Inc increments a counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// SetGauge records an instantaneous value.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// AddLabeled increments one series of a single-label counter family,
+// e.g. AddLabeled("hourglass_job_cost_usd_total", "job", "job-1", c).
+// The label key is fixed at the family's first use.
+func (r *Registry) AddLabeled(name, labelKey, labelValue string, delta float64) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{label: labelKey, vals: map[string]float64{}}
+		r.families[name] = f
+	}
+	f.vals[labelValue] += delta
+	r.mu.Unlock()
+}
+
+// RegisterHistogram declares a histogram with the given ascending
+// upper bounds (+Inf is implicit). Re-registering a name replaces it.
+func (r *Registry) RegisterHistogram(name string, buckets []float64) {
+	h := &histogram{
+		buckets: append([]float64(nil), buckets...),
+		counts:  make([]uint64, len(buckets)+1),
+	}
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Observe records a value into a registered histogram; observations
+// against an unregistered name are dropped.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		return
+	}
+	h.sum += v
+	h.count++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.buckets)]++
+}
+
+// Value reads a counter (or, failing that, a gauge) — for tests.
+func (r *Registry) Value(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counters[name]; ok {
+		return v
+	}
+	return r.gauges[name]
+}
+
+// LabeledValue reads one series of a counter family — for tests.
+func (r *Registry) LabeledValue(name, labelValue string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f.vals[labelValue]
+	}
+	return 0
+}
+
+// HistogramCount returns a histogram's total observation count.
+func (r *Registry) HistogramCount(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h.count
+	}
+	return 0
+}
+
+// WriteTo renders the registry in Prometheus text exposition format:
+// scalars (counters and gauges interleaved by name), then counter
+// families, then histograms, each block sorted by metric name.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	emit := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	emitHelp := func(name, kind string) error {
+		if help := r.help[name]; help != "" {
+			if err := emit("# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		return emit("# TYPE %s %s\n", name, kind)
+	}
+
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		kind, v := "counter", r.counters[name]
+		if gv, ok := r.gauges[name]; ok {
+			kind, v = "gauge", gv
+		}
+		if err := emitHelp(name, kind); err != nil {
+			return n, err
+		}
+		if err := emit("%s %s\n", name, fmtFloat(v)); err != nil {
+			return n, err
+		}
+	}
+
+	famNames := make([]string, 0, len(r.families))
+	for name := range r.families {
+		famNames = append(famNames, name)
+	}
+	sort.Strings(famNames)
+	for _, name := range famNames {
+		f := r.families[name]
+		if err := emitHelp(name, "counter"); err != nil {
+			return n, err
+		}
+		vals := make([]string, 0, len(f.vals))
+		for lv := range f.vals {
+			vals = append(vals, lv)
+		}
+		sort.Strings(vals)
+		for _, lv := range vals {
+			// %q matches the exposition format's label escaping
+			// (backslash, double quote, newline).
+			if err := emit("%s{%s=%q} %s\n", name, f.label, lv, fmtFloat(f.vals[lv])); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	histNames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := r.hists[name]
+		if err := emitHelp(name, "histogram"); err != nil {
+			return n, err
+		}
+		var cum uint64
+		for i, ub := range h.buckets {
+			cum += h.counts[i]
+			if err := emit("%s_bucket{le=\"%s\"} %d\n", name, fmtFloat(ub), cum); err != nil {
+				return n, err
+			}
+		}
+		cum += h.counts[len(h.buckets)]
+		if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum, name, fmtFloat(h.sum), name, cum); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary is a trace folded into the paper's Table-2-style per-run
+// numbers: what the run cost, how often it was evicted, and whether
+// the deadline held — plus the engine-side activity when the trace
+// carries superstep records.
+type Summary struct {
+	// Sim lifecycle.
+	Runs        int     // done markers seen
+	CostUSD     float64 // sum of spend deltas, in emission order
+	Decisions   int
+	Deploys     int // reconfigurations (every deploy tears down the old one)
+	Evictions   int
+	Checkpoints int
+	Finished    bool    // last done marker reported completion
+	Missed      bool    // last done marker reported a deadline miss
+	Completion  float64 // virtual completion time of the last run
+
+	// Engine activity.
+	Supersteps int
+	Active     int64 // total compute calls
+	Messages   int64 // total logical sends
+	Combined   int64 // sends folded at the sender
+	EngineNs   int64 // summed wall time of traced supersteps
+
+	// Retries across durability paths.
+	RetryAttempts int
+}
+
+// Summarize folds a trace. Spend deltas are accumulated in event
+// order, which reproduces the simulator's own cost accumulation
+// sequence exactly (float addition is order-dependent): a folded
+// summary of a run's trace equals the run's printed results bit for
+// bit.
+func Summarize(events []Event) Summary {
+	var s Summary
+	for _, e := range events {
+		switch e.Type {
+		case EvSpend:
+			s.CostUSD += e.USD
+		case EvDecision:
+			s.Decisions++
+		case EvDeploy:
+			s.Deploys++
+		case EvEvict:
+			s.Evictions++
+		case EvCheckpoint:
+			s.Checkpoints++
+		case EvDone:
+			s.Runs++
+			s.Finished = e.Done
+			s.Missed = e.Missed
+			s.Completion = e.T
+		case EvSuperstep:
+			s.Supersteps++
+			s.Active += e.Active
+			s.Messages += e.Messages
+			s.Combined += e.Combined
+			s.EngineNs += e.NsStep
+		case EvRetry:
+			s.RetryAttempts += e.Attempts
+		}
+	}
+	return s
+}
+
+// String renders the summary as a compact table.
+func (s Summary) String() string {
+	var b strings.Builder
+	if s.Runs > 0 || s.Decisions > 0 {
+		deadline := "met"
+		if s.Missed {
+			deadline = "MISSED"
+		}
+		if !s.Finished {
+			deadline = "unfinished"
+		}
+		fmt.Fprintf(&b, "runs        %d\n", s.Runs)
+		fmt.Fprintf(&b, "cost        $%.4f\n", s.CostUSD)
+		fmt.Fprintf(&b, "deadline    %s (completion t=%.0fs)\n", deadline, s.Completion)
+		fmt.Fprintf(&b, "evictions   %d\n", s.Evictions)
+		fmt.Fprintf(&b, "deploys     %d\n", s.Deploys)
+		fmt.Fprintf(&b, "checkpoints %d\n", s.Checkpoints)
+		fmt.Fprintf(&b, "decisions   %d\n", s.Decisions)
+	}
+	if s.Supersteps > 0 {
+		avg := int64(0)
+		if s.Supersteps > 0 {
+			avg = s.EngineNs / int64(s.Supersteps)
+		}
+		fmt.Fprintf(&b, "supersteps  %d (avg %d ns/step)\n", s.Supersteps, avg)
+		fmt.Fprintf(&b, "compute     %d calls\n", s.Active)
+		fmt.Fprintf(&b, "messages    %d sent, %d combined at sender\n", s.Messages, s.Combined)
+	}
+	if s.RetryAttempts > 0 {
+		fmt.Fprintf(&b, "retries     %d attempts\n", s.RetryAttempts)
+	}
+	if b.Len() == 0 {
+		return "empty trace\n"
+	}
+	return b.String()
+}

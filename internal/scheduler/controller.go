@@ -10,6 +10,7 @@ import (
 
 	"hourglass"
 	"hourglass/internal/cloud"
+	"hourglass/internal/obs"
 	"hourglass/internal/sim"
 	"hourglass/internal/units"
 )
@@ -36,6 +37,9 @@ type Backend interface {
 // concurrent use) to the Backend interface.
 type SystemBackend struct {
 	Sys *hourglass.System
+	// Sink, when set, receives the simulator's decision/lifecycle
+	// trace events for every recurrence.
+	Sink obs.Sink
 }
 
 // Admit resolves spec-derived constants via the shared System.
@@ -69,7 +73,7 @@ func (b SystemBackend) Run(ctx context.Context, spec JobSpec, start, deadline un
 	if err != nil {
 		return sim.RunResult{}, err
 	}
-	runner := &sim.Runner{Env: env}
+	runner := &sim.Runner{Env: env, Sink: b.Sink}
 	res, err := runner.RunCtx(ctx, prov, start, deadline)
 	if err != nil {
 		return res, err
@@ -101,6 +105,11 @@ type Options struct {
 	Store cloud.BlobStore
 	// SnapshotKey names the state object ("" = "scheduler/state.json").
 	SnapshotKey string
+	// Sink, when set, receives one obs.EvRun trace event per executed
+	// recurrence (and snapshot-retry events from the store path). Pass
+	// the same sink to the Backend to also capture the per-decision
+	// simulator stream.
+	Sink obs.Sink
 	// Logf receives operational log lines (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -123,6 +132,7 @@ type Controller struct {
 	store        cloud.BlobStore
 	snapshotKey  string
 	retry        *cloud.Retrier
+	sink         obs.Sink
 	logf         func(string, ...any)
 
 	metrics *Metrics
@@ -177,6 +187,7 @@ func New(opts Options) (*Controller, error) {
 		store:        opts.Store,
 		snapshotKey:  opts.SnapshotKey,
 		retry:        cloud.NewRetrier(cloud.RetryPolicy{Seed: opts.Seed}),
+		sink:         opts.Sink,
 		logf:         opts.Logf,
 		metrics:      NewMetrics(),
 		jobs:         map[string]*jobEntry{},
@@ -187,6 +198,7 @@ func New(opts Options) (*Controller, error) {
 		runCtx:       runCtx,
 		runCancel:    runCancel,
 	}
+	c.retry.Sink = opts.Sink
 	if c.store != nil && c.store.Exists(c.snapshotKey) {
 		if err := c.restore(); err != nil {
 			runCancel()
@@ -462,6 +474,26 @@ func (c *Controller) execute(t task) {
 	c.metrics.Add(MetricDecisions, float64(rec.Decisions))
 	c.metrics.Add(MetricCostUSD, rec.Cost)
 	c.metrics.Add(MetricBaselineUSD, float64(baseline))
+	c.metrics.AddJob(MetricJobRuns, t.id, 1)
+	c.metrics.AddJob(MetricJobCostUSD, t.id, rec.Cost)
+	c.metrics.AddJob(MetricJobEvictions, t.id, float64(rec.Evictions))
+	if err == nil && (rec.MissedDeadline || !rec.Finished) {
+		c.metrics.AddJob(MetricJobMissed, t.id, 1)
+	}
+	if c.sink != nil {
+		ev := obs.Event{
+			Type:   obs.EvRun,
+			Job:    t.id,
+			T:      float64(offset),
+			USD:    obs.Finite(rec.Cost),
+			Missed: rec.MissedDeadline,
+			Done:   rec.Finished,
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		c.sink.Emit(ev)
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
+
+	"hourglass/internal/obs"
 )
 
 // Handler returns the daemon's control plane:
@@ -15,6 +18,8 @@ import (
 //	GET    /jobs/{id}/history the job's run records
 //	GET    /healthz           liveness probe
 //	GET    /metrics           Prometheus text exposition
+//	GET    /debug/trace       recent trace events (JSONL), newest last
+//	GET    /debug/pprof/*     standard pprof profiles
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", c.handleSubmit)
@@ -24,6 +29,12 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/history", c.handleHistory)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", c.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -105,6 +116,24 @@ func (c *Controller) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (c *Controller) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// The retrier keeps its own atomics; reconcile them into the
+	// registry at scrape time so the counters stay monotonic.
+	attempts, retried := c.retry.Stats()
+	c.metrics.Add(MetricStoreAttempts, float64(attempts)-c.metrics.Value(MetricStoreAttempts))
+	c.metrics.Add(MetricStoreRetries, float64(retried)-c.metrics.Value(MetricStoreRetries))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = c.metrics.WriteTo(w)
+}
+
+// handleTrace dumps the recent trace ring as JSONL. It requires the
+// controller's sink to expose Recent() — obs.Tracer does; a plain
+// streaming sink (or no sink) answers 404.
+func (c *Controller) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ring, ok := c.sink.(interface{ Recent() []obs.Event })
+	if !ok {
+		http.Error(w, "tracing is not enabled with a ring sink", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = obs.WriteJSONL(w, ring.Recent())
 }

@@ -1,29 +1,18 @@
 package scheduler
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"strconv"
-	"sync"
+	"hourglass/internal/obs"
 )
 
-// Metrics is the daemon's instrumentation: monotonically increasing
-// counters, one gauge, and a latency histogram, all exposed in
+// Metrics is the daemon's instrumentation, a thin wrapper over the
+// shared obs.Registry: monotonically increasing counters, one gauge,
+// a latency histogram, and per-job labeled series, all exposed in
 // Prometheus text format on /metrics. It is dependency-free by
 // design — the container must not grow a client_golang dependency —
-// and safe for concurrent observation.
+// and safe for concurrent observation. Add/Inc/SetGauge/AddLabeled/
+// Value/WriteTo are promoted from the embedded registry.
 type Metrics struct {
-	mu sync.Mutex
-
-	counters map[string]float64
-	gauges   map[string]float64
-
-	// run wall-time histogram (decision latency per recurrence).
-	buckets []float64 // upper bounds, seconds
-	counts  []uint64  // cumulative per bucket is derived at render
-	sum     float64
-	total   uint64
+	*obs.Registry
 }
 
 // Counter and gauge names. Keeping them as constants documents the
@@ -42,7 +31,19 @@ const (
 	MetricCostUSD       = "hourglass_cost_usd_total"
 	MetricBaselineUSD   = "hourglass_baseline_usd_total"
 	MetricSnapshots     = "hourglass_snapshots_total"
+	MetricStoreAttempts = "hourglass_store_attempts_total"
+	MetricStoreRetries  = "hourglass_store_retried_ops_total"
 	metricRunSeconds    = "hourglass_run_duration_seconds"
+)
+
+// Per-job counter families (label key "job"): the §7 evaluation is a
+// per-run cost/evictions/misses story, so the daemon breaks the same
+// aggregates down by job id.
+const (
+	MetricJobRuns      = "hourglass_job_runs_total"
+	MetricJobCostUSD   = "hourglass_job_cost_usd_total"
+	MetricJobEvictions = "hourglass_job_evictions_total"
+	MetricJobMissed    = "hourglass_job_deadline_missed_total"
 )
 
 var metricHelp = map[string]string{
@@ -59,7 +60,13 @@ var metricHelp = map[string]string{
 	MetricCostUSD:       "Cumulative simulated spend (USD).",
 	MetricBaselineUSD:   "Cumulative on-demand baseline spend (USD).",
 	MetricSnapshots:     "State snapshots written to the datastore.",
+	MetricStoreAttempts: "Datastore operation attempts (first tries + retries).",
+	MetricStoreRetries:  "Datastore operations that needed more than one attempt.",
 	metricRunSeconds:    "Wall-clock latency of one recurrence (simulation + decisions).",
+	MetricJobRuns:       "Recurrences completed, by job.",
+	MetricJobCostUSD:    "Simulated spend (USD), by job.",
+	MetricJobEvictions:  "Spot evictions suffered, by job.",
+	MetricJobMissed:     "Deadline misses, by job.",
 }
 
 // NewMetrics builds a registry with every named counter pre-registered
@@ -67,116 +74,31 @@ var metricHelp = map[string]string{
 // latency buckets spanning sub-millisecond simulations to multi-second
 // decision storms.
 func NewMetrics() *Metrics {
-	m := &Metrics{
-		counters: map[string]float64{},
-		gauges:   map[string]float64{},
-		buckets:  []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10},
-		counts:   make([]uint64, 10),
+	r := obs.NewRegistry()
+	for name, help := range metricHelp {
+		r.SetHelp(name, help)
 	}
 	for _, name := range []string{
 		MetricJobsSubmitted, MetricJobsDeleted, MetricRunsStarted,
 		MetricRunsFinished, MetricRunsFailed, MetricRunsMissed,
 		MetricEvictions, MetricReconfigs, MetricDecisions,
 		MetricCostUSD, MetricBaselineUSD, MetricSnapshots,
+		MetricStoreAttempts, MetricStoreRetries,
 	} {
-		m.counters[name] = 0
+		r.Add(name, 0)
 	}
-	m.gauges[MetricJobsActive] = 0
-	return m
-}
-
-// Add increments a counter by delta.
-func (m *Metrics) Add(name string, delta float64) {
-	m.mu.Lock()
-	m.counters[name] += delta
-	m.mu.Unlock()
-}
-
-// Inc increments a counter by one.
-func (m *Metrics) Inc(name string) { m.Add(name, 1) }
-
-// SetGauge records an instantaneous value.
-func (m *Metrics) SetGauge(name string, v float64) {
-	m.mu.Lock()
-	m.gauges[name] = v
-	m.mu.Unlock()
+	r.SetGauge(MetricJobsActive, 0)
+	r.RegisterHistogram(metricRunSeconds,
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
+	return &Metrics{Registry: r}
 }
 
 // ObserveRunSeconds records one recurrence latency into the histogram.
 func (m *Metrics) ObserveRunSeconds(s float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sum += s
-	m.total++
-	for i, ub := range m.buckets {
-		if s <= ub {
-			m.counts[i]++
-			return
-		}
-	}
-	m.counts[len(m.buckets)]++ // +Inf overflow bucket
+	m.Observe(metricRunSeconds, s)
 }
 
-// Value reads a counter (for tests).
-func (m *Metrics) Value(name string) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if v, ok := m.counters[name]; ok {
-		return v
-	}
-	return m.gauges[name]
+// AddJob increments one per-job series.
+func (m *Metrics) AddJob(name, jobID string, delta float64) {
+	m.AddLabeled(name, "job", jobID, delta)
 }
-
-// WriteTo renders the registry in Prometheus text exposition format.
-func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n int64
-	emit := func(format string, args ...any) error {
-		k, err := fmt.Fprintf(w, format, args...)
-		n += int64(k)
-		return err
-	}
-	names := make([]string, 0, len(m.counters)+len(m.gauges))
-	for name := range m.counters {
-		names = append(names, name)
-	}
-	for name := range m.gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		kind, v := "counter", m.counters[name]
-		if gv, ok := m.gauges[name]; ok {
-			kind, v = "gauge", gv
-		}
-		if help := metricHelp[name]; help != "" {
-			if err := emit("# HELP %s %s\n", name, help); err != nil {
-				return n, err
-			}
-		}
-		if err := emit("# TYPE %s %s\n%s %s\n", name, kind, name, fmtFloat(v)); err != nil {
-			return n, err
-		}
-	}
-	// Histogram block.
-	if err := emit("# HELP %s %s\n# TYPE %s histogram\n",
-		metricRunSeconds, metricHelp[metricRunSeconds], metricRunSeconds); err != nil {
-		return n, err
-	}
-	var cum uint64
-	for i, ub := range m.buckets {
-		cum += m.counts[i]
-		if err := emit("%s_bucket{le=\"%s\"} %d\n", metricRunSeconds, fmtFloat(ub), cum); err != nil {
-			return n, err
-		}
-	}
-	cum += m.counts[len(m.buckets)]
-	if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		metricRunSeconds, cum, metricRunSeconds, fmtFloat(m.sum), metricRunSeconds, cum); err != nil {
-		return n, err
-	}
-	return n, nil
-}
-
-func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,96 @@
+package scheduler
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRunSecondsHistogramCumulative is a regression test for the
+// Prometheus exposition of the run-latency histogram: internal counts
+// are per-bucket, and cumulativity is derived at render time. A broken
+// render produces buckets that are not monotonically non-decreasing,
+// or a +Inf bucket that disagrees with _count — both silently corrupt
+// quantile math in Prometheus.
+func TestRunSecondsHistogramCumulative(t *testing.T) {
+	m := NewMetrics()
+	for _, s := range []float64{0.0005, 0.003, 0.003, 0.07, 0.7, 7, 700} {
+		m.ObserveRunSeconds(s)
+	}
+	var b bytes.Buffer
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var cums []uint64
+	var count uint64
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, metricRunSeconds+"_bucket{"):
+			f := strings.Fields(line)
+			v, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			cums = append(cums, v)
+		case strings.HasPrefix(line, metricRunSeconds+"_count "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, metricRunSeconds+"_count "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	if len(cums) < 2 {
+		t.Fatalf("histogram render produced %d buckets:\n%s", len(cums), b.String())
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Errorf("bucket %d not cumulative: %d < %d", i, cums[i], cums[i-1])
+		}
+	}
+	if count != 7 {
+		t.Errorf("_count = %d, want 7", count)
+	}
+	if last := cums[len(cums)-1]; last != count {
+		t.Errorf("+Inf bucket %d != _count %d", last, count)
+	}
+}
+
+// TestMetricsConcurrentObserveDuringRender: Observe and WriteTo from
+// concurrent goroutines must be race-clean (run under -race) and every
+// render must be internally consistent.
+func TestMetricsConcurrentObserveDuringRender(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.ObserveRunSeconds(float64(i%100) / 50)
+				m.Add(MetricRunsStarted, 1)
+				m.AddJob(MetricJobRuns, "job-1", 1)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var b bytes.Buffer
+		if _, err := m.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), metricRunSeconds+"_count ") {
+			t.Fatal("render missing histogram count")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

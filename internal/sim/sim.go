@@ -18,6 +18,7 @@ import (
 
 	"hourglass/internal/cloud"
 	"hourglass/internal/core"
+	"hourglass/internal/obs"
 	"hourglass/internal/units"
 )
 
@@ -53,6 +54,30 @@ type Runner struct {
 	WarningWindow units.Seconds
 	// Trace records a per-phase Timeline into each RunResult.
 	Trace bool
+	// Sink, when set, receives the structured decision/lifecycle event
+	// stream (obs JSONL schema): one EvDecision per provisioner
+	// consultation, one EvSpend per billing charge in accumulation
+	// order, EvDeploy/EvEvict/EvCheckpoint lifecycle markers and a
+	// final EvDone. Folding the stream with obs.Summarize reproduces
+	// the RunResult exactly. Nil disables tracing at zero cost.
+	Sink obs.Sink
+}
+
+// emit publishes a trace event when a sink is configured.
+func (r *Runner) emit(e obs.Event) {
+	if r.Sink != nil {
+		r.Sink.Emit(e)
+	}
+}
+
+// emitSpend publishes one billing charge. Every res.Cost increment has
+// a matching emitSpend in the same order, so a trace's folded cost
+// reproduces the run's float accumulation sequence bit-for-bit.
+func (r *Runner) emitSpend(at units.Seconds, config string, usd units.USD) {
+	if r.Sink != nil {
+		r.Sink.Emit(obs.Event{Type: obs.EvSpend, T: float64(at),
+			Config: config, USD: float64(usd)})
+	}
 }
 
 // Run simulates one job execution starting at `start` with an absolute
@@ -92,6 +117,8 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			res.Completion = t
 			res.MissedDeadline = t > deadline
 			tl.add(PhaseDone, t, t, "", 0)
+			r.emit(obs.Event{Type: obs.EvDone, T: float64(t), Job: env.Job.Name,
+				Done: true, Missed: res.MissedDeadline, USD: float64(res.Cost)})
 			return res, nil
 		}
 		res.Decisions++
@@ -108,9 +135,10 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			curCfg = &live[0].stats.Config
 			uptime = t - live[0].bootAt
 		}
-		dec, err := prov.Decide(core.State{
+		st := core.State{
 			Now: t, WorkLeft: wLive, Deadline: deadline, Current: curCfg, Uptime: uptime,
-		})
+		}
+		dec, err := prov.Decide(st)
 		if err != nil {
 			return res, err
 		}
@@ -118,6 +146,14 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 		if !ok {
 			return res, fmt.Errorf("sim: provisioner chose unknown config %s", dec.Config.ID())
 		}
+		r.emit(obs.Event{Type: obs.EvDecision, T: float64(t), Job: env.Job.Name,
+			Config:     dec.Config.ID(),
+			ECUSD:      obs.Finite(float64(dec.ExpectedCost)),
+			SlackSec:   obs.Finite(float64(env.Slack(st))),
+			WorkLeft:   wLive,
+			Keep:       dec.KeepCurrent,
+			LastResort: dec.Config.ID() == env.LRC.Config.ID(),
+		})
 
 		if !dec.KeepCurrent || len(live) == 0 {
 			// (Re)deploy: tear down, wait for market availability, boot
@@ -151,6 +187,7 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 					return res, err
 				}
 				res.Cost += cost
+				r.emitSpend(avails[i], c.ID(), cost)
 			}
 			live = live[:0]
 			for _, c := range configs {
@@ -164,6 +201,9 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 				live = append(live, replica{stats: cs, bootAt: readyAt, evict: ev})
 			}
 			tl.add(PhaseDeploy, t, readyAt, dec.Config.ID(), wLive)
+			r.emit(obs.Event{Type: obs.EvDeploy, T: float64(t), Job: env.Job.Name,
+				Config: dec.Config.ID(), WorkLeft: wLive,
+				DurSec: float64(readyAt - t), Reload: res.Reconfigs > 1})
 			t = readyAt
 		} else {
 			// Keep running: refresh eviction forecasts (prices moved on).
@@ -214,6 +254,7 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 					return res, err
 				}
 				res.Cost += cost
+				r.emitSpend(t, live[i].stats.Config.ID(), cost)
 			}
 			res.Evictions++
 			// Progress since t accrues only in memory; survivors keep it.
@@ -229,6 +270,8 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			if dec.UseCheckpoints && r.WarningWindow >= primary.Save {
 				wDurable = wLive
 				res.Checkpoints++
+				r.emit(obs.Event{Type: obs.EvCheckpoint, T: float64(t), Job: env.Job.Name,
+					Config: primary.Config.ID(), WorkLeft: wLive})
 			}
 			// Drop the evicted replica (and any other replica evicted
 			// at the same instant).
@@ -240,6 +283,8 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			}
 			tl.add(PhaseCompute, t-elapsed, t, primary.Config.ID(), wLive)
 			tl.add(PhaseEvicted, t, t, primary.Config.ID(), wLive)
+			r.emit(obs.Event{Type: obs.EvEvict, T: float64(t), Job: env.Job.Name,
+				Config: primary.Config.ID(), WorkLeft: wLive})
 			if len(survivors) == 0 {
 				// Total loss: roll back to the last durable checkpoint.
 				wLive = wDurable
@@ -258,6 +303,7 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 				return res, err
 			}
 			res.Cost += cost
+			r.emitSpend(t, live[i].stats.Config.ID(), cost)
 		}
 		wLive -= float64(segment) / float64(primary.Exec)
 		if wLive < 1e-12 {
@@ -281,6 +327,7 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 					return res, err
 				}
 				res.Cost += cost
+				r.emitSpend(t, live[i].stats.Config.ID(), cost)
 				evTimes = append(evTimes, live[i].evict)
 				continue
 			}
@@ -289,6 +336,7 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 				return res, err
 			}
 			res.Cost += cost
+			r.emitSpend(t, live[i].stats.Config.ID(), cost)
 			savers = append(savers, live[i])
 		}
 		sort.Slice(evTimes, func(i, j int) bool { return evTimes[i] < evTimes[j] })
@@ -297,6 +345,8 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 		for _, ev := range evTimes {
 			tl.add(PhaseSave, segStart, ev, primary.Config.ID(), wLive)
 			tl.add(PhaseEvicted, ev, ev, primary.Config.ID(), wLive)
+			r.emit(obs.Event{Type: obs.EvEvict, T: float64(ev), Job: env.Job.Name,
+				Config: primary.Config.ID(), WorkLeft: wLive})
 			segStart = ev
 		}
 		if len(savers) == 0 && len(evTimes) > 0 {
@@ -314,6 +364,8 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			if dec.UseCheckpoints {
 				wDurable = wLive
 				res.Checkpoints++
+				r.emit(obs.Event{Type: obs.EvCheckpoint, T: float64(t), Job: env.Job.Name,
+					Config: primary.Config.ID(), WorkLeft: wLive})
 			}
 			continue
 		}
@@ -322,6 +374,9 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 		res.Completion = t
 		res.MissedDeadline = t > deadline
 		tl.add(PhaseDone, t, t, primary.Config.ID(), 0)
+		r.emit(obs.Event{Type: obs.EvDone, T: float64(t), Job: env.Job.Name,
+			Config: primary.Config.ID(), Done: true,
+			Missed: res.MissedDeadline, USD: float64(res.Cost)})
 		return res, nil
 	}
 }

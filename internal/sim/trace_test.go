@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"hourglass/internal/core"
+	"hourglass/internal/obs"
+	"hourglass/internal/perfmodel"
+	"hourglass/internal/units"
+)
+
+// TestTraceFoldMatchesRunResult is the tentpole acceptance check: a
+// run's JSONL event stream, read back and folded with obs.Summarize,
+// must reproduce the RunResult exactly — including the float64 cost
+// bit-for-bit, which only holds because the runner emits one EvSpend
+// per billing charge in accounting order (float addition is not
+// associative) and JSON round-trips float64 exactly.
+func TestTraceFoldMatchesRunResult(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		job  perfmodel.Job
+		prov func(env *core.Env) core.Provisioner
+		frac float64
+	}{
+		{"ondemand/pagerank", perfmodel.JobPageRank,
+			func(env *core.Env) core.Provisioner { return &core.OnDemandOnly{Env: env} }, 0.1},
+		{"slackaware/pagerank", perfmodel.JobPageRank,
+			func(env *core.Env) core.Provisioner { return core.NewSlackAware(env) }, 0.5},
+		{"slackaware/sssp", perfmodel.JobSSSP,
+			func(env *core.Env) core.Provisioner { return core.NewSlackAware(env) }, 0.3},
+		{"greedy/pagerank", perfmodel.JobPageRank,
+			func(env *core.Env) core.Provisioner { return core.NewGreedy(env) }, 1.0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := testEnv(t, tc.job)
+			var buf bytes.Buffer
+			sink := obs.NewJSONL(&buf)
+			r := &Runner{Env: env, Sink: sink}
+			start := 5 * units.Hour // mid-trace so spot runs see evictions
+			res, err := r.Run(tc.prov(env), start, start+deadlineFor(env, tc.frac))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			events, err := obs.ReadJSONL(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := obs.Summarize(events)
+
+			if s.Runs != 1 {
+				t.Errorf("folded runs = %d, want 1", s.Runs)
+			}
+			if s.CostUSD != float64(res.Cost) {
+				t.Errorf("folded cost = %v, run cost = %v (must match bit-exactly)",
+					s.CostUSD, float64(res.Cost))
+			}
+			if s.Evictions != res.Evictions {
+				t.Errorf("folded evictions = %d, run = %d", s.Evictions, res.Evictions)
+			}
+			if s.Deploys != res.Reconfigs {
+				t.Errorf("folded deploys = %d, run reconfigs = %d", s.Deploys, res.Reconfigs)
+			}
+			if s.Checkpoints != res.Checkpoints {
+				t.Errorf("folded checkpoints = %d, run = %d", s.Checkpoints, res.Checkpoints)
+			}
+			if s.Decisions != res.Decisions {
+				t.Errorf("folded decisions = %d, run = %d", s.Decisions, res.Decisions)
+			}
+			if s.Finished != res.Finished || s.Missed != res.MissedDeadline {
+				t.Errorf("folded finished=%v missed=%v, run finished=%v missed=%v",
+					s.Finished, s.Missed, res.Finished, res.MissedDeadline)
+			}
+			if res.Finished && s.Completion != float64(res.Completion) {
+				t.Errorf("folded completion = %v, run = %v", s.Completion, float64(res.Completion))
+			}
+		})
+	}
+}
+
+// TestTraceDisabledByDefault guards the zero-overhead contract: a nil
+// sink must leave the runner's behavior and results untouched.
+func TestTraceDisabledByDefault(t *testing.T) {
+	env := testEnv(t, perfmodel.JobPageRank)
+	deadline := deadlineFor(env, 0.5)
+
+	plain := &Runner{Env: env}
+	res1, err := plain.Run(core.NewSlackAware(env), 0, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	traced := &Runner{Env: env, Sink: obs.NewJSONL(&buf)}
+	res2, err := traced.Run(core.NewSlackAware(env), 0, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Timeline = res1.Timeline
+	if res1 != res2 {
+		t.Errorf("tracing changed the run: %+v vs %+v", res1, res2)
+	}
+	if buf.Len() == 0 {
+		t.Error("traced run emitted no events")
+	}
+}

@@ -1,22 +1,118 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_ENGINE.json from the engine message-plane
-# microbenchmarks (internal/engine BenchmarkEngineMessagePlane):
+# Engine message-plane microbenchmark harness
+# (internal/engine BenchmarkEngineMessagePlane):
 #
-#   scripts/bench_engine.sh [output.json]
+#   scripts/bench_engine.sh [output.json]   # regenerate BENCH_ENGINE.json
+#   scripts/bench_engine.sh --check [ref]   # regression gate vs committed numbers
 #
-# BENCHTIME (default 2s) controls -benchtime. The emitted JSON carries
-# two sections: "baseline" holds the frozen pre-message-plane numbers
-# (per-vertex inbox slices, O(V) liveness scan) measured on the same
-# benchmark immediately before the rewrite, and "current" holds this
-# run. Comparing allocs_per_op between the two is the engine's
-# regression gate: PageRank must stay ≥5× below the baseline.
+# BENCHTIME (default 2s) controls -benchtime.
+#
+# The emitted JSON carries two sections: "baseline" holds the frozen
+# pre-message-plane numbers (per-vertex inbox slices, O(V) liveness
+# scan) measured on the same benchmark immediately before the rewrite,
+# and "current" holds this run.
+#
+# --check reruns the benchmark and compares each case against the
+# "current" section of the committed BENCH_ENGINE.json (or [ref]).
+# It fails if any case's ns/superstep regresses by more than 25% or
+# its allocs/op more than doubles. Wall-clock numbers on shared CI
+# runners are noisy — the job that runs this is advisory — but the
+# alloc gate is deterministic: it is what keeps the observability
+# hooks and future engine work honest about hot-path allocations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_ENGINE.json}"
 benchtime="${BENCHTIME:-2s}"
 
-raw="$(go test ./internal/engine/ -run NONE -bench BenchmarkEngineMessagePlane -benchmem -benchtime "$benchtime")"
+run_bench() {
+  go test ./internal/engine/ -run NONE -bench BenchmarkEngineMessagePlane \
+    -benchmem -benchtime "$benchtime"
+}
+
+# parse_bench <raw>: one "case ns_per_op ns_per_superstep bytes allocs" row per line.
+parse_bench() {
+  awk '
+    /^BenchmarkEngineMessagePlane\// {
+      name = $1
+      sub(/^BenchmarkEngineMessagePlane\//, "", name)
+      sub(/-[0-9]+$/, "", name)
+      ns = bytes = allocs = step = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")        ns = $(i - 1)
+        if ($i == "ns/superstep") step = $(i - 1)
+        if ($i == "B/op")         bytes = $(i - 1)
+        if ($i == "allocs/op")    allocs = $(i - 1)
+      }
+      print name, ns, step, bytes, allocs
+    }
+  ' <<<"$1"
+}
+
+if [[ "${1:-}" == "--check" ]]; then
+  ref="${2:-BENCH_ENGINE.json}"
+  [[ -f "$ref" ]] || { echo "bench check: reference $ref not found" >&2; exit 2; }
+
+  raw="$(run_bench)"
+  echo "$raw" >&2
+
+  # Reference rows from the committed JSON's "current" section (same
+  # row shape as the baseline section, so gate on the section marker).
+  ref_rows="$(awk '
+    /"current": \[/ { in_cur = 1; next }
+    in_cur && /^  \]/ { in_cur = 0 }
+    in_cur && /"case":/ {
+      line = $0
+      gsub(/[",{}:]/, " ", line)
+      n = split(line, f, /[ \t]+/)
+      for (i = 1; i <= n; i++) {
+        if (f[i] == "case")             name = f[i + 1]
+        if (f[i] == "ns_per_superstep") step = f[i + 1]
+        if (f[i] == "allocs_per_op")    allocs = f[i + 1]
+      }
+      print name, step, allocs
+    }
+  ' "$ref")"
+
+  parse_bench "$raw" | awk -v ref="$ref_rows" -v refname="$ref" '
+    BEGIN {
+      n = split(ref, lines, "\n")
+      for (i = 1; i <= n; i++) {
+        split(lines[i], f, " ")
+        if (f[1] != "") { refstep[f[1]] = f[2]; refallocs[f[1]] = f[3] }
+      }
+      printf("%-28s %14s %14s %8s %10s %10s %8s\n",
+             "case", "ns/superstep", "ref", "ratio", "allocs/op", "ref", "ratio")
+    }
+    {
+      name = $1; step = $3; allocs = $5
+      if (!(name in refstep)) {
+        printf("%-28s (new case, no reference — skipped)\n", name)
+        next
+      }
+      sr = step / refstep[name]
+      ar = refallocs[name] > 0 ? allocs / refallocs[name] : (allocs > 0 ? 99 : 1)
+      flag = ""
+      if (sr > 1.25) { flag = flag " SLOW"; bad = 1 }
+      if (ar > 2.0)  { flag = flag " ALLOCS"; bad = 1 }
+      printf("%-28s %14d %14d %7.2fx %10d %10d %7.2fx%s\n",
+             name, step, refstep[name], sr, allocs, refallocs[name], ar, flag)
+      checked++
+    }
+    END {
+      if (checked == 0) { print "bench check: no cases matched " refname > "/dev/stderr"; exit 2 }
+      if (bad) {
+        print "bench check: FAILED (>25% ns/superstep or >2x allocs/op vs " refname ")" > "/dev/stderr"
+        exit 1
+      }
+      print "bench check: ok (" checked " cases within thresholds)" > "/dev/stderr"
+    }
+  '
+  exit $?
+fi
+
+out="${1:-BENCH_ENGINE.json}"
+
+raw="$(run_bench)"
 echo "$raw" >&2
 
 {
@@ -50,23 +146,13 @@ echo "$raw" >&2
   },
 BASELINE
   printf '  "current": [\n'
-  awk '
-    /^BenchmarkEngineMessagePlane\// {
-      name = $1
-      sub(/^BenchmarkEngineMessagePlane\//, "", name)
-      sub(/-[0-9]+$/, "", name)
-      ns = bytes = allocs = step = "null"
-      for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")        ns = $(i - 1)
-        if ($i == "ns/superstep") step = $(i - 1)
-        if ($i == "B/op")         bytes = $(i - 1)
-        if ($i == "allocs/op")    allocs = $(i - 1)
-      }
+  parse_bench "$raw" | awk '
+    {
       if (n++) printf(",\n")
-      printf("    {\"case\": \"%s\", \"ns_per_op\": %s, \"ns_per_superstep\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, step, bytes, allocs)
+      printf("    {\"case\": \"%s\", \"ns_per_op\": %s, \"ns_per_superstep\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3, $4, $5)
     }
     END { printf("\n") }
-  ' <<<"$raw"
+  '
   printf '  ]\n'
   printf '}\n'
 } > "$out"
