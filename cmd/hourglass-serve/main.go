@@ -16,6 +16,12 @@
 //	curl -s localhost:8080/metrics | grep hourglass_cost
 //	curl -s localhost:8080/debug/trace | tail        # recent trace events
 //	go tool pprof localhost:8080/debug/pprof/profile # CPU profile
+//
+// With -backend=engine each recurrence executes a real vertex program
+// through the eviction-aware runtime (internal/runtime): evictions are
+// injected from the market traces, checkpoints reload across
+// worker-count changes, and a wall-clock watchdog bounds wedged
+// supersteps.
 package main
 
 import (
@@ -51,6 +57,11 @@ func main() {
 	chaosErr := flag.Float64("chaos-error-rate", 0.2, "probability of a transient store error per op")
 	chaosCorrupt := flag.Float64("chaos-corrupt-rate", 0.05, "probability of durable write corruption per put")
 	chaosLatency := flag.Duration("chaos-latency", 2*time.Second, "max injected (virtual) latency per op")
+	backendName := flag.String("backend", "sim", `recurrence executor: "sim" (trace-driven simulator) or "engine" (eviction-aware execution runtime running real vertex programs)`)
+	engineScale := flag.Int("engine-graph-scale", 10, "RMAT scale of the benchmark graph (engine backend)")
+	engineWatchdog := flag.Duration("engine-watchdog", 30*time.Second, "wall-clock budget per superstep before a wedged run is reloaded (engine backend)")
+	engineRestarts := flag.Int("engine-restart-budget", 8, "restarts before the last-resort on-demand pin (engine backend)")
+	engineChaos := flag.Bool("engine-chaos", false, "inject seeded faults into the engine checkpoint store (engine backend)")
 	flag.Parse()
 
 	sys, err := hourglass.New(hourglass.Options{Seed: *seed, TraceDays: *traceDays})
@@ -107,8 +118,45 @@ func main() {
 		sink = obs.NewTracer(*traceRing, out)
 	}
 
+	// The recurrence executor: the trace-driven simulator by default, or
+	// the eviction-aware execution runtime (real vertex programs, real
+	// checkpoint reloads across worker-count changes) with -backend=engine.
+	var backend scheduler.Backend
+	switch *backendName {
+	case "sim":
+		backend = scheduler.SystemBackend{Sys: sys, Sink: sink}
+	case "engine":
+		var ckptStore cloud.BlobStore = cloud.NewDatastore()
+		if *engineChaos {
+			ckptStore = faultinject.Wrap(ckptStore, faultinject.Policy{
+				Seed:           *chaosSeed,
+				PError:         *chaosErr,
+				PWriteCorrupt:  *chaosCorrupt,
+				PReadCorrupt:   *chaosCorrupt,
+				PTruncate:      *chaosCorrupt / 2,
+				MaxLatency:     units.Seconds(chaosLatency.Seconds()),
+				MaxConsecutive: 2,
+			})
+			log.Printf("engine chaos: checkpoint store faults seed=%d error=%.2f corrupt=%.2f",
+				*chaosSeed, *chaosErr, *chaosCorrupt)
+		}
+		backend = &scheduler.EngineBackend{
+			Sys:           sys,
+			Store:         ckptStore,
+			Sink:          sink,
+			GraphScale:    *engineScale,
+			Watchdog:      *engineWatchdog,
+			RestartBudget: *engineRestarts,
+			Logf:          log.Printf,
+		}
+		log.Printf("engine backend: graph scale %d, watchdog %v, restart budget %d",
+			*engineScale, *engineWatchdog, *engineRestarts)
+	default:
+		log.Fatalf("unknown -backend %q (want sim or engine)", *backendName)
+	}
+
 	ctrl, err := scheduler.New(scheduler.Options{
-		Backend:      scheduler.SystemBackend{Sys: sys, Sink: sink},
+		Backend:      backend,
 		Workers:      *workers,
 		HistoryLimit: *history,
 		Seed:         *seed,

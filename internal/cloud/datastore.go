@@ -32,8 +32,11 @@ type BlobStore interface {
 	// Get fetches a copy of a blob and the virtual download time.
 	// Missing keys fail with an error wrapping ErrNotFound.
 	Get(key string) ([]byte, units.Seconds, error)
-	// Delete removes a blob (idempotent).
-	Delete(key string)
+	// Delete removes a blob (idempotent). Failures must be reported,
+	// not swallowed: a checkpoint namespace whose garbage collection
+	// silently fails can resurrect stale state in a later recurrent
+	// execution (CheckpointManager.Clear logs them).
+	Delete(key string) error
 	// Exists reports whether the key is stored.
 	Exists(key string) bool
 	// Keys returns the stored object keys in sorted order.
@@ -102,11 +105,12 @@ func (d *Datastore) GetReader(key string) (*bytes.Reader, units.Seconds, error) 
 	return bytes.NewReader(data), t, nil
 }
 
-// Delete removes a blob (idempotent).
-func (d *Datastore) Delete(key string) {
+// Delete removes a blob (idempotent; the in-memory store never fails).
+func (d *Datastore) Delete(key string) error {
 	d.mu.Lock()
 	delete(d.objects, key)
 	d.mu.Unlock()
+	return nil
 }
 
 // Exists reports whether the key is stored.

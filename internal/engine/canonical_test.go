@@ -1,0 +1,143 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+)
+
+func canonicalGraph(scale int, seed int64) *graph.Graph {
+	p := graph.DefaultRMAT(scale, seed)
+	p.Undirected = true
+	return graph.RMAT(p)
+}
+
+// TestCanonicalPageRankBitIdenticalAcrossWorkerCounts is the property
+// the eviction-aware runtime relies on: under Config.Canonical the
+// floating-point sums of PageRank (per-vertex message folds and the
+// dangling-mass aggregator) depend only on the multiset of inputs, so
+// every worker count produces the same bits. Without Canonical this
+// fails: sender-side combining folds in arrival order, and roughly
+// half the vertices differ in their final ulps between worker counts.
+func TestCanonicalPageRankBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	g := canonicalGraph(9, 11)
+	ref, err := engine.Run(g, &engine.PageRank{Iterations: 10}, engine.Config{Workers: 1, Canonical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 4, 8, 16} {
+		res, err := engine.Run(g, &engine.PageRank{Iterations: 10}, engine.Config{Workers: w, Canonical: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for v := range ref.Values {
+			if res.Values[v] != ref.Values[v] {
+				t.Fatalf("workers=%d vertex %d: %x != %x", w, v, res.Values[v], ref.Values[v])
+			}
+		}
+	}
+}
+
+// TestCanonicalMatchesDefaultWithinTolerance sanity-checks that the
+// canonical reduction computes the same quantity as the default path,
+// differing only in rounding order.
+func TestCanonicalMatchesDefaultWithinTolerance(t *testing.T) {
+	g := canonicalGraph(8, 12)
+	def, err := engine.Run(g, &engine.PageRank{Iterations: 10}, engine.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := engine.Run(g, &engine.PageRank{Iterations: 10}, engine.Config{Workers: 4, Canonical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range def.Values {
+		if !engine.FloatEqual(def.Values[v], canon.Values[v], 1e-12) {
+			t.Fatalf("vertex %d: canonical %v vs default %v", v, canon.Values[v], def.Values[v])
+		}
+	}
+}
+
+// TestCanonicalPauseResumeAcrossWorkerCounts pauses a canonical
+// PageRank run mid-flight and resumes it under a different worker
+// count; the final bits must match an uninterrupted canonical run.
+func TestCanonicalPauseResumeAcrossWorkerCounts(t *testing.T) {
+	g := canonicalGraph(8, 13)
+	fresh := func() engine.Program { return &engine.PageRank{Iterations: 10} }
+	ref, err := engine.Run(g, fresh(), engine.Config{Workers: 3, Canonical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{1, 4}, {4, 1}, {2, 8}, {8, 3}} {
+		res, err := engine.Run(g, fresh(), engine.Config{Workers: pair[0], Canonical: true, StopAfter: 4})
+		if !errors.Is(err, engine.ErrPaused) {
+			t.Fatalf("pause at %d workers: %v", pair[0], err)
+		}
+		final, err := engine.Resume(g, fresh(), res.Snapshot, engine.Config{Workers: pair[1], Canonical: true})
+		if err != nil {
+			t.Fatalf("resume at %d workers: %v", pair[1], err)
+		}
+		for v := range ref.Values {
+			if final.Values[v] != ref.Values[v] {
+				t.Fatalf("%d->%d workers, vertex %d: %x != %x",
+					pair[0], pair[1], v, final.Values[v], ref.Values[v])
+			}
+		}
+	}
+}
+
+// TestRunCtxInterrupt exercises the eviction signal: a cancelled
+// context aborts the run with ErrInterrupted and no snapshot.
+func TestRunCtxInterrupt(t *testing.T) {
+	g := canonicalGraph(8, 14)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := engine.RunCtx(ctx, g, &engine.PageRank{Iterations: 10}, engine.Config{Workers: 2})
+	if !errors.Is(err, engine.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if res.Snapshot != nil || res.Values != nil {
+		t.Fatalf("interrupted run leaked state: %+v", res)
+	}
+}
+
+// TestRunCtxInterruptMidSuperstep cancels while a Compute call is
+// sleeping; the worker poll must abandon the superstep promptly
+// instead of finishing the frontier.
+func TestRunCtxInterruptMidSuperstep(t *testing.T) {
+	g := canonicalGraph(8, 15)
+	ctx, cancel := context.WithCancel(context.Background())
+	slow := &slowProgram{inner: &engine.SSSP{Source: 0}, sleep: 5 * time.Millisecond, cancel: cancel}
+	start := time.Now()
+	_, err := engine.RunCtx(ctx, g, slow, engine.Config{Workers: 2})
+	if !errors.Is(err, engine.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("interrupt took %v, poll not reached", elapsed)
+	}
+}
+
+// slowProgram delays each Compute call and cancels its own run on the
+// first call of superstep 2, simulating a wedge.
+type slowProgram struct {
+	inner  engine.Program
+	sleep  time.Duration
+	cancel context.CancelFunc
+}
+
+func (s *slowProgram) Name() string { return s.inner.Name() }
+func (s *slowProgram) Init(g *graph.Graph, v graph.VertexID) (float64, bool) {
+	return s.inner.Init(g, v)
+}
+func (s *slowProgram) Compute(ctx *engine.Context, v graph.VertexID, msgs []float64) {
+	if ctx.Superstep() == 2 {
+		s.cancel()
+		time.Sleep(s.sleep)
+	}
+	s.inner.Compute(ctx, v, msgs)
+}

@@ -36,10 +36,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hourglass/internal/graph"
@@ -118,6 +121,12 @@ func (c *Context) Aggregate(name string, val float64) {
 	agg, ok := c.w.run.aggs[name]
 	if !ok {
 		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))
+	}
+	if c.w.run.canonical {
+		// Keep the raw terms: the barrier folds them value-sorted so the
+		// reduction is independent of compute order and worker count.
+		c.w.aggList[name] = append(c.w.aggList[name], val)
+		return
 	}
 	cur, seen := c.w.aggLocal[name]
 	if !seen {
@@ -203,11 +212,30 @@ type Config struct {
 	// A nil sink costs nothing on the hot path: no timing, no event
 	// construction, no allocations.
 	Sink obs.Sink
+	// Canonical forces order-invariant reductions: sender-side combining
+	// is disabled, each vertex's message slice is sorted ascending
+	// before Compute, and aggregator contributions are collected and
+	// folded in sorted order at the barrier. Floating-point folds (sums
+	// in particular) then depend only on the multiset of inputs, never
+	// on worker count or delivery order, so results are bit-identical
+	// across any sequence of worker-count changes — the property the
+	// eviction-aware runtime's chaos suite asserts. Messages and
+	// aggregator contributions must not be NaN or -0.0 (sort order
+	// among them is unspecified). Costs one sort per message-receiving
+	// vertex per superstep; leave it off for throughput runs.
+	Canonical bool
 }
 
 // ErrPaused is returned when Config.StopAfter interrupted the run; the
 // Result carries a Snapshot to resume from.
 var ErrPaused = errors.New("engine: paused before completion")
+
+// ErrInterrupted is returned by RunCtx/ResumeCtx when the context is
+// cancelled: the in-flight superstep is abandoned and no snapshot is
+// produced — in-memory state is treated as lost, exactly the semantics
+// of a spot eviction. Recovery goes through the last durable
+// checkpoint (CheckpointManager), not the returned Result.
+var ErrInterrupted = errors.New("engine: interrupted mid-run")
 
 // Stats summarise an execution. For resumed runs, Supersteps is the
 // absolute superstep counter while MessagesSent/ComputeCalls cover the
@@ -274,6 +302,16 @@ type run struct {
 	collectSteps bool
 	stepStats    []StepStats
 	sink         obs.Sink
+
+	// canonical is Config.Canonical; aggScratch is the reusable merge
+	// buffer for canonical aggregator reduction.
+	canonical  bool
+	aggScratch []float64
+
+	// done aborts the run when closed (RunCtx/ResumeCtx); aborted is
+	// set by whichever goroutine observes the cancellation first.
+	done    <-chan struct{}
+	aborted atomic.Bool
 }
 
 type worker struct {
@@ -297,18 +335,32 @@ type worker struct {
 	dirty  []graph.VertexID
 
 	aggLocal map[string]float64
-	sent     int64
-	calls    int64
-	remote   int64
-	comb     int64 // sends folded into an occupied slot (combiner path)
+	// aggList collects raw aggregator contributions under canonical
+	// mode, so the barrier can fold them in a value-sorted order that
+	// does not depend on compute order or worker count.
+	aggList map[string][]float64
+	sent    int64
+	calls   int64
+	remote  int64
+	comb    int64 // sends folded into an occupied slot (combiner path)
 }
 
 // Run executes prog on g under cfg, starting from scratch.
 func Run(g *graph.Graph, prog Program, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), g, prog, cfg)
+}
+
+// RunCtx is Run with cancellation: once ctx is done the engine abandons
+// the in-flight superstep (workers poll between vertices, the driver
+// loop polls at every barrier) and returns ErrInterrupted. The eviction
+// signal of the runtime driver (internal/runtime) arrives through this
+// path.
+func RunCtx(ctx context.Context, g *graph.Graph, prog Program, cfg Config) (Result, error) {
 	r, err := newRun(g, prog, cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	r.done = ctx.Done()
 	// Initialise vertex values and auxiliary state.
 	for v := 0; v < g.NumVertices(); v++ {
 		val, act := prog.Init(g, graph.VertexID(v))
@@ -329,6 +381,11 @@ func Run(g *graph.Graph, prog Program, cfg Config) (Result, error) {
 // use a different worker count or partitioning than the one that
 // produced the snapshot — vertex state is location-independent.
 func Resume(g *graph.Graph, prog Program, snap *Snapshot, cfg Config) (Result, error) {
+	return ResumeCtx(context.Background(), g, prog, snap, cfg)
+}
+
+// ResumeCtx is Resume with cancellation (see RunCtx).
+func ResumeCtx(ctx context.Context, g *graph.Graph, prog Program, snap *Snapshot, cfg Config) (Result, error) {
 	if snap == nil {
 		return Result{}, errors.New("engine: nil snapshot")
 	}
@@ -342,6 +399,7 @@ func Resume(g *graph.Graph, prog Program, snap *Snapshot, cfg Config) (Result, e
 	if err != nil {
 		return Result{}, err
 	}
+	r.done = ctx.Done()
 	copy(r.values, snap.Values)
 	copy(r.active, snap.Active)
 	for v, act := range r.active {
@@ -397,7 +455,11 @@ func newRun(g *graph.Graph, prog Program, cfg Config) (*run, error) {
 	}
 	r.collectSteps = cfg.CollectStepStats
 	r.sink = cfg.Sink
-	if c, ok := prog.(Combiner); ok {
+	r.canonical = cfg.Canonical
+	// Canonical mode needs every message term individually (a send-time
+	// fold is inherently arrival-ordered), so the combiner is bypassed
+	// and messages take the pooled-arena path.
+	if c, ok := prog.(Combiner); ok && !r.canonical {
 		r.comb = c
 		r.inVal = make([]float64, n)
 		r.inSet = make([]bool, n)
@@ -421,6 +483,9 @@ func newRun(g *graph.Graph, prog Program, cfg Config) (*run, error) {
 	r.workers = make([]*worker, cfg.Workers)
 	for w := range r.workers {
 		wk := &worker{run: r, id: w, aggLocal: map[string]float64{}}
+		if r.canonical {
+			wk.aggList = map[string][]float64{}
+		}
 		wk.ctx = &Context{w: wk}
 		wk.cur = make([]graph.VertexID, 0, owned[w])
 		wk.next = make([]graph.VertexID, 0, owned[w])
@@ -524,6 +589,9 @@ func (r *run) loop(stopAfter, maxSupersteps int) (Result, error) {
 		if !r.anyWork() {
 			return Result{Values: r.values, Stats: r.stats(), StepStats: r.stepStats}, nil
 		}
+		if r.interrupted() {
+			return Result{Stats: r.stats()}, ErrInterrupted
+		}
 		if r.superstep >= maxSupersteps {
 			return Result{}, fmt.Errorf("engine: %s exceeded %d supersteps", r.prog.Name(), maxSupersteps)
 		}
@@ -536,6 +604,26 @@ func (r *run) loop(stopAfter, maxSupersteps int) (Result, error) {
 		}
 		r.step()
 		steps++
+		if r.aborted.Load() {
+			// A worker saw the cancellation mid-superstep: the step's
+			// partial state is inconsistent and discarded.
+			return Result{Stats: r.stats()}, ErrInterrupted
+		}
+	}
+}
+
+// interrupted reports (and latches) whether the run's context was
+// cancelled at a barrier.
+func (r *run) interrupted() bool {
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		r.aborted.Store(true)
+		return true
+	default:
+		return false
 	}
 }
 
@@ -566,7 +654,18 @@ func (r *run) step() {
 			defer wg.Done()
 			ctx := w.ctx
 			ctx.superstep = r.superstep
-			for _, v := range w.cur {
+			for i, v := range w.cur {
+				if r.done != nil && i&255 == 0 {
+					select {
+					case <-r.done:
+						// Abandon the in-flight superstep: the run's
+						// state is now inconsistent and the caller only
+						// sees ErrInterrupted.
+						r.aborted.Store(true)
+						return
+					default:
+					}
+				}
 				r.queued[v] = false
 				var msgs []float64
 				if comb {
@@ -578,6 +677,12 @@ func (r *run) step() {
 					end := r.msgEnd[v]
 					msgs = w.arena[end-n : end]
 					r.msgLen[v] = 0
+					if r.canonical && n > 1 {
+						// The arena slice is consumed this superstep, so
+						// sorting in place is safe; Compute then folds a
+						// canonically ordered multiset.
+						sort.Float64s(msgs)
+					}
 				}
 				r.active[v] = true // message receipt reactivates
 				r.prog.Compute(ctx, v, msgs)
@@ -591,6 +696,9 @@ func (r *run) step() {
 		}(w)
 	}
 	wg.Wait()
+	if r.aborted.Load() {
+		return
+	}
 
 	// Barrier: deliver staged messages. Each goroutine owns one
 	// destination worker's vertex range, so inbox state, worklist
@@ -625,6 +733,31 @@ func (r *run) step() {
 		})
 	}
 	for name, agg := range r.aggs {
+		if r.canonical {
+			// Merge every worker's raw contributions and fold them in
+			// ascending value order: the reduction becomes a function of
+			// the contribution multiset alone, independent of compute
+			// order and worker count.
+			merged := r.aggScratch[:0]
+			for _, w := range r.workers {
+				if lst := w.aggList[name]; len(lst) > 0 {
+					merged = append(merged, lst...)
+					w.aggList[name] = lst[:0]
+				}
+			}
+			sort.Float64s(merged)
+			val := agg.identity
+			for i, c := range merged {
+				if i == 0 {
+					val = c
+				} else {
+					val = agg.reduce(val, c)
+				}
+			}
+			agg.value = val
+			r.aggScratch = merged[:0]
+			continue
+		}
 		val := agg.identity
 		contributed := false
 		for _, w := range r.workers {

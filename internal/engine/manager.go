@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"sort"
 	"strings"
 	"sync"
@@ -35,9 +36,22 @@ type CheckpointManager struct {
 	// Retry overrides the backoff policy for store operations
 	// (nil = cloud.RetryPolicy defaults, seeded from Job).
 	Retry *cloud.Retrier
+	// Logf receives non-fatal maintenance failures (e.g. Clear errors
+	// on the RunDurable success path). Nil logs via the standard
+	// library logger.
+	Logf func(format string, args ...any)
 
 	retryOnce    sync.Once
 	defaultRetry *cloud.Retrier
+}
+
+// logf routes non-fatal errors to the configured or default logger.
+func (m *CheckpointManager) logf(format string, args ...any) {
+	if m.Logf != nil {
+		m.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // key is the datastore object name for a superstep's checkpoint.
@@ -67,7 +81,9 @@ func (m *CheckpointManager) retrier() *cloud.Retrier {
 }
 
 // putRetry uploads a blob, retrying transient store errors. The
-// returned time includes the successful transfer plus backoff delays.
+// returned time includes the transfer plus backoff delays — even on
+// failure, so callers can bill the virtual time burned by the
+// exhausted retry budget.
 func (m *CheckpointManager) putRetry(key string, data []byte) (units.Seconds, error) {
 	var xfer units.Seconds
 	delay, err := m.retrier().Do(func() error {
@@ -76,7 +92,7 @@ func (m *CheckpointManager) putRetry(key string, data []byte) (units.Seconds, er
 		return err
 	})
 	if err != nil {
-		return 0, fmt.Errorf("engine: checkpoint upload %q: %w", key, err)
+		return xfer + delay, fmt.Errorf("engine: checkpoint upload %q: %w", key, err)
 	}
 	return xfer + delay, nil
 }
@@ -134,7 +150,9 @@ func openFrame(blob []byte) ([]byte, error) {
 // Save uploads a snapshot sealed with a CRC32 trailer and advances the
 // latest pointer, returning the virtual upload time (retry backoff
 // included). Transient store errors are retried; only an exhausted
-// retry budget fails the save.
+// retry budget fails the save. The returned time is meaningful even on
+// failure: it covers whatever uploads and backoff delays were spent
+// before giving up, so callers can bill the partial progress.
 func (m *CheckpointManager) Save(s *Snapshot) (units.Seconds, error) {
 	var buf bytes.Buffer
 	if _, err := s.WriteTo(&buf); err != nil {
@@ -142,11 +160,11 @@ func (m *CheckpointManager) Save(s *Snapshot) (units.Seconds, error) {
 	}
 	t0, err := m.putRetry(m.key(s.Superstep), sealFrame(buf.Bytes()))
 	if err != nil {
-		return 0, err
+		return t0, err
 	}
 	t1, err := m.putRetry(m.latestKey(), []byte(m.key(s.Superstep)))
 	if err != nil {
-		return 0, err
+		return t0 + t1, err
 	}
 	return t0 + t1, nil
 }
@@ -178,8 +196,8 @@ func (m *CheckpointManager) loadKey(key string) (*Snapshot, units.Seconds, error
 // checkpoint at all returns ErrNoCheckpoint.
 func (m *CheckpointManager) Load() (*Snapshot, units.Seconds, error) {
 	// A cleanly absent pointer means "fresh job" (or a completed one —
-	// Clear removes only the pointer and leaves blobs to GC, which must
-	// NOT be resurrected by the fallback scan).
+	// Clear deletes the whole namespace, and even if some blob deletes
+	// failed, leftovers must NOT be resurrected by the fallback scan).
 	if !m.Store.Exists(m.latestKey()) {
 		return nil, 0, ErrNoCheckpoint
 	}
@@ -230,10 +248,31 @@ func (m *CheckpointManager) scanFallback(skip string) (*Snapshot, units.Seconds,
 	return nil, 0, ErrNoCheckpoint
 }
 
-// Clear removes the latest pointer (checkpoints themselves are left
-// for garbage collection, as S3 lifecycle rules would).
-func (m *CheckpointManager) Clear() {
-	m.Store.Delete(m.latestKey())
+// Clear removes the latest pointer AND every numbered checkpoint blob
+// in the job's namespace. Deleting only the pointer is not enough for
+// recurrent jobs: the next execution of the same job writes fresh
+// checkpoints under the same namespace, and if its latest pointer is
+// ever damaged, Load's fallback scan walks the namespace newest-first
+// — where a leftover high-superstep blob from the PREVIOUS execution
+// would win and resurrect stale state. Delete failures are collected
+// and returned (never swallowed) so callers can log them; the
+// namespace may then still hold blobs, which is why RunDurable logs
+// rather than ignores the error.
+func (m *CheckpointManager) Clear() error {
+	var errs []error
+	if err := m.Store.Delete(m.latestKey()); err != nil {
+		errs = append(errs, fmt.Errorf("engine: clear %q: %w", m.latestKey(), err))
+	}
+	prefix := fmt.Sprintf("ckpt/%s/", m.Job)
+	for _, k := range m.Store.Keys() {
+		if !strings.HasPrefix(k, prefix) || k == m.latestKey() {
+			continue
+		}
+		if err := m.Store.Delete(k); err != nil {
+			errs = append(errs, fmt.Errorf("engine: clear %q: %w", k, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // RunDurable executes prog with periodic durable checkpoints every
@@ -241,7 +280,10 @@ func (m *CheckpointManager) Clear() {
 // exists. It is the full execution loop of the paper's Figure 2 at the
 // engine level: run → checkpoint → (crash?) → reload → continue. The
 // returned virtual I/O time is the sum of checkpoint uploads (compute
-// time is the caller's concern — the perfmodel prices it).
+// time is the caller's concern — the perfmodel prices it). On a save
+// failure, the I/O time already spent — including the failed save's
+// partial uploads and exhausted retry backoff — is returned alongside
+// the error so callers can bill the partial progress.
 func (m *CheckpointManager) RunDurable(g *graph.Graph, prog Program, cfg Config, every int) (Result, units.Seconds, error) {
 	if every <= 0 {
 		return Result{}, 0, fmt.Errorf("engine: checkpoint interval %d", every)
@@ -269,17 +311,19 @@ func (m *CheckpointManager) RunDurable(g *graph.Graph, prog Program, cfg Config,
 		}
 		switch {
 		case err == nil:
-			m.Clear()
+			if cerr := m.Clear(); cerr != nil {
+				m.logf("engine: checkpoint GC for job %q incomplete: %v", m.Job, cerr)
+			}
 			return res, ioTime, nil
 		case errors.Is(err, ErrPaused):
 			saveTime, serr := m.Save(res.Snapshot)
-			if serr != nil {
-				return Result{}, 0, serr
-			}
 			ioTime += saveTime
+			if serr != nil {
+				return Result{}, ioTime, serr
+			}
 			snap = res.Snapshot
 		default:
-			return Result{}, 0, err
+			return Result{}, ioTime, err
 		}
 	}
 }

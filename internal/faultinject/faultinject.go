@@ -208,7 +208,7 @@ func (s *Store) Get(key string) ([]byte, units.Seconds, error) {
 }
 
 // Delete implements cloud.BlobStore (metadata ops stay reliable).
-func (s *Store) Delete(key string) { s.base.Delete(key) }
+func (s *Store) Delete(key string) error { return s.base.Delete(key) }
 
 // Exists implements cloud.BlobStore.
 func (s *Store) Exists(key string) bool { return s.base.Exists(key) }

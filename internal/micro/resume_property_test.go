@@ -1,0 +1,90 @@
+package micro_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+	"hourglass/internal/micro"
+	"hourglass/internal/partition"
+)
+
+// TestResumeAcrossClusteredWorkerCounts is the property the
+// eviction-aware runtime stands on: pausing a canonical run whose
+// vertex assignment comes from clustering micro-partitions to w1
+// workers and resuming it under the clustering for w2 ≠ w1 must
+// produce bits identical to an uninterrupted run. The engine-level
+// pause/resume test uses hash assignments; this one exercises the
+// exact assignments the runtime feeds the engine after a re-cluster.
+func TestResumeAcrossClusteredWorkerCounts(t *testing.T) {
+	p := graph.DefaultRMAT(9, 21)
+	p.Undirected = true
+	g := graph.RMAT(p)
+
+	counts := []int{4, 8, 16} // the R4 family ladder the envs use
+	part, err := micro.BuildForConfigs(g, partition.Hash{}, counts, partition.Multilevel{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := map[int][]int32{}
+	for _, k := range counts {
+		va, err := part.VertexAssignment(k)
+		if err != nil {
+			t.Fatalf("assignment for %d workers: %v", k, err)
+		}
+		assign[k] = va.Assign
+	}
+
+	apps := []struct {
+		name  string
+		fresh func() engine.Program
+	}{
+		{"pagerank", func() engine.Program { return &engine.PageRank{Iterations: 10} }},
+		{"sssp", func() engine.Program { return &engine.SSSP{Source: 0} }},
+		{"wcc", func() engine.Program { return &engine.WCC{} }},
+	}
+	for _, a := range apps {
+		t.Run(a.name, func(t *testing.T) {
+			ref, err := engine.Run(g, a.fresh(), engine.Config{
+				Workers: 4, Assign: assign[4], Canonical: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pause a third of the way in so real work remains on both
+			// sides of the cut.
+			stopAt := ref.Stats.Supersteps / 3
+			if stopAt < 1 {
+				stopAt = 1
+			}
+			for _, w1 := range counts {
+				for _, w2 := range counts {
+					if w1 == w2 {
+						continue
+					}
+					t.Run(fmt.Sprintf("%d->%d", w1, w2), func(t *testing.T) {
+						paused, err := engine.Run(g, a.fresh(), engine.Config{
+							Workers: w1, Assign: assign[w1], Canonical: true, StopAfter: stopAt,
+						})
+						if !errors.Is(err, engine.ErrPaused) {
+							t.Fatalf("pause: %v", err)
+						}
+						final, err := engine.Resume(g, a.fresh(), paused.Snapshot, engine.Config{
+							Workers: w2, Assign: assign[w2], Canonical: true,
+						})
+						if err != nil {
+							t.Fatalf("resume: %v", err)
+						}
+						for v := range ref.Values {
+							if final.Values[v] != ref.Values[v] {
+								t.Fatalf("vertex %d diverged: %x != %x", v, final.Values[v], ref.Values[v])
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}

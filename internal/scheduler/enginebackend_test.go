@@ -1,0 +1,111 @@
+package scheduler_test
+
+// EngineBackend tests: the controller drives real engine executions
+// through the eviction-aware runtime instead of the abstract
+// simulator, and recurrences still finish, bill, and record.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+	"hourglass/internal/faultinject"
+	"hourglass/internal/scheduler"
+	"hourglass/internal/units"
+)
+
+func TestEngineBackendRunsAllKinds(t *testing.T) {
+	sys, err := hourglass.New(hourglass.Options{Seed: 5, TraceDays: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &scheduler.EngineBackend{Sys: sys, GraphScale: 9, Logf: t.Logf}
+	for _, kind := range []hourglass.JobKind{hourglass.PageRank, hourglass.SSSP, hourglass.GC} {
+		t.Run(string(kind), func(t *testing.T) {
+			spec := scheduler.JobSpec{
+				ID: "t-" + string(kind), Kind: kind,
+				Strategy: hourglass.StrategyHourglass, Slack: 0.5,
+				Period: scheduler.Duration(30 * time.Minute), Runs: 1,
+			}
+			deadline, horizon, baseline, err := be.Admit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if deadline <= 0 || horizon <= 0 || baseline <= 0 {
+				t.Fatalf("admission constants: dl=%v hz=%v base=%v", deadline, horizon, baseline)
+			}
+			res, err := be.Run(context.Background(), spec, 0, deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Finished {
+				t.Fatalf("run did not finish: %+v", res)
+			}
+			if res.Cost <= 0 {
+				t.Fatalf("no cost billed: %+v", res)
+			}
+			if res.Reconfigs < 1 || res.Decisions < 1 {
+				t.Fatalf("no deployments recorded: %+v", res)
+			}
+		})
+	}
+}
+
+// TestControllerWithEngineBackend wires the backend into a live
+// controller on a virtual clock: two recurrences of a real PageRank
+// execution, with a fault-injected checkpoint store.
+func TestControllerWithEngineBackend(t *testing.T) {
+	sys, err := hourglass.New(hourglass.Options{Seed: 6, TraceDays: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &scheduler.EngineBackend{
+		Sys:        sys,
+		GraphScale: 9,
+		Store: faultinject.Wrap(cloud.NewDatastore(), faultinject.Policy{
+			Seed: 9, PError: 0.2, PWriteCorrupt: 0.05, PReadCorrupt: 0.05,
+			MaxLatency: units.Seconds(2), MaxConsecutive: 2,
+		}),
+		Logf: t.Logf,
+	}
+	vc := scheduler.NewVirtualClock(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC))
+	ctrl, err := scheduler.New(scheduler.Options{
+		Backend: be, Clock: vc, Workers: 2, Seed: 6, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = ctrl.Shutdown(ctx)
+	}()
+
+	st, err := ctrl.Submit(scheduler.JobSpec{
+		Kind: hourglass.PageRank, Strategy: hourglass.StrategyHourglass,
+		Slack: 0.5, Period: scheduler.Duration(30 * time.Minute), Runs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(30 * time.Minute)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, ok := ctrl.Get(st.Spec.ID)
+		if ok && cur.Completed == 2 {
+			if cur.Agg.Failed != 0 {
+				t.Fatalf("failed recurrences: %+v", cur.Agg)
+			}
+			if cur.Agg.CostUSD <= 0 {
+				t.Fatalf("no cost aggregated: %+v", cur.Agg)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", cur)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+}

@@ -138,22 +138,10 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 		st := core.State{
 			Now: t, WorkLeft: wLive, Deadline: deadline, Current: curCfg, Uptime: uptime,
 		}
-		dec, err := prov.Decide(st)
+		dec, primary, err := Decide(env, prov, st, r.Sink)
 		if err != nil {
 			return res, err
 		}
-		primary, ok := env.StatsFor(dec.Config)
-		if !ok {
-			return res, fmt.Errorf("sim: provisioner chose unknown config %s", dec.Config.ID())
-		}
-		r.emit(obs.Event{Type: obs.EvDecision, T: float64(t), Job: env.Job.Name,
-			Config:     dec.Config.ID(),
-			ECUSD:      obs.Finite(float64(dec.ExpectedCost)),
-			SlackSec:   obs.Finite(float64(env.Slack(st))),
-			WorkLeft:   wLive,
-			Keep:       dec.KeepCurrent,
-			LastResort: dec.Config.ID() == env.LRC.Config.ID(),
-		})
 
 		if !dec.KeepCurrent || len(live) == 0 {
 			// (Re)deploy: tear down, wait for market availability, boot
@@ -190,15 +178,11 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 				r.emitSpend(avails[i], c.ID(), cost)
 			}
 			live = live[:0]
+			sampler := Evictor{Market: market}
 			for _, c := range configs {
 				cs, _ := env.StatsFor(c)
-				ev := units.Seconds(math.Inf(1))
-				if c.Transient {
-					if at, ok, err := market.NextEviction(c, readyAt); err == nil && ok {
-						ev = at
-					}
-				}
-				live = append(live, replica{stats: cs, bootAt: readyAt, evict: ev})
+				live = append(live, replica{stats: cs, bootAt: readyAt,
+					evict: sampler.Next(c, readyAt)})
 			}
 			tl.add(PhaseDeploy, t, readyAt, dec.Config.ID(), wLive)
 			r.emit(obs.Event{Type: obs.EvDeploy, T: float64(t), Job: env.Job.Name,
@@ -207,13 +191,10 @@ func (r *Runner) RunCtx(ctx context.Context, prov core.Provisioner, start, deadl
 			t = readyAt
 		} else {
 			// Keep running: refresh eviction forecasts (prices moved on).
+			sampler := Evictor{Market: market}
 			for i := range live {
 				if live[i].stats.Config.Transient {
-					if at, ok, err := market.NextEviction(live[i].stats.Config, t); err == nil && ok {
-						live[i].evict = at
-					} else {
-						live[i].evict = units.Seconds(math.Inf(1))
-					}
+					live[i].evict = sampler.Next(live[i].stats.Config, t)
 				}
 			}
 		}
