@@ -57,7 +57,10 @@ func main() {
 	chaosErr := flag.Float64("chaos-error-rate", 0.2, "probability of a transient store error per op")
 	chaosCorrupt := flag.Float64("chaos-corrupt-rate", 0.05, "probability of durable write corruption per put")
 	chaosLatency := flag.Duration("chaos-latency", 2*time.Second, "max injected (virtual) latency per op")
-	backendName := flag.String("backend", "sim", `recurrence executor: "sim" (trace-driven simulator) or "engine" (eviction-aware execution runtime running real vertex programs)`)
+	backendName := flag.String("backend", "sim", `recurrence executor: "sim" (trace-driven simulator), "engine" (eviction-aware execution runtime running real vertex programs) or "dist" (coordinator + shard workers over loopback TCP)`)
+	distShards := flag.Int("dist-shards", 4, "shard workers per recurrence (dist backend)")
+	distStore := flag.String("dist-store", "", "checkpoint blob directory for shard state (dist backend; empty = in-memory)")
+	distKillAt := flag.Int("dist-kill-at", 0, "chaos: kill one shard mid-superstep N on every recurrence's first session (dist backend)")
 	engineScale := flag.Int("engine-graph-scale", 10, "RMAT scale of the benchmark graph (engine backend)")
 	engineWatchdog := flag.Duration("engine-watchdog", 30*time.Second, "wall-clock budget per superstep before a wedged run is reloaded (engine backend)")
 	engineRestarts := flag.Int("engine-restart-budget", 8, "restarts before the last-resort on-demand pin (engine backend)")
@@ -151,8 +154,28 @@ func main() {
 		}
 		log.Printf("engine backend: graph scale %d, watchdog %v, restart budget %d",
 			*engineScale, *engineWatchdog, *engineRestarts)
+	case "dist":
+		var blobStore cloud.BlobStore
+		if *distStore != "" {
+			fsStore, err := cloud.NewFSStore(*distStore)
+			if err != nil {
+				log.Fatalf("opening dist store: %v", err)
+			}
+			blobStore = fsStore
+		}
+		backend = &scheduler.DistBackend{
+			Sys:             sys,
+			Store:           blobStore,
+			Sink:            sink,
+			Shards:          *distShards,
+			GraphScale:      *engineScale,
+			KillAtSuperstep: *distKillAt,
+			Logf:            log.Printf,
+		}
+		log.Printf("dist backend: %d shards, graph scale %d, store %q",
+			*distShards, *engineScale, *distStore)
 	default:
-		log.Fatalf("unknown -backend %q (want sim or engine)", *backendName)
+		log.Fatalf("unknown -backend %q (want sim, engine or dist)", *backendName)
 	}
 
 	ctrl, err := scheduler.New(scheduler.Options{

@@ -1,0 +1,129 @@
+// hourglass-shard is one node of the distributed BSP engine
+// (internal/dist). In its default role it is a shard worker: it
+// connects to a coordinator, receives its vertex partition in the
+// welcome handshake, and runs the superstep protocol over the wire
+// message plane until the job halts or the process is torn down. With
+// -coordinate it is the other side: it listens, accepts the shard
+// workers, drives the job and prints the result.
+//
+//	# a two-process PageRank on loopback, checkpoints under /tmp/ckpt
+//	hourglass-shard -coordinate -coordinator localhost:9090 \
+//	  -shards 2 -program pagerank -store /tmp/ckpt &
+//	hourglass-shard -coordinator localhost:9090 -store /tmp/ckpt &
+//	hourglass-shard -coordinator localhost:9090 -store /tmp/ckpt &
+//
+// By default a worker serves sessions in a loop (reconnecting after
+// each one), so a single process survives the successive sessions a
+// recovering job goes through. With -once it serves exactly one
+// session and exits — nonzero when the session ended in an injected
+// death, which is how the recovery tests model a spot eviction killing
+// the worker process. A coordinator likewise retries after a lost
+// shard (resuming from the newest sealed checkpoint) until the job
+// completes or -max-sessions is exhausted.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/dist"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "localhost:9090", "coordinator address (listen address with -coordinate)")
+	storeDir := flag.String("store", "", "checkpoint blob directory (shared by coordinator and workers)")
+	once := flag.Bool("once", false, "worker: serve one session and exit instead of reconnecting")
+	dieAt := flag.Int("die-at", 0, "worker fault injection: drop the connection mid-superstep N (0 = never)")
+	muteAt := flag.Int("mute-at", 0, "worker fault injection: stop voting at superstep N (0 = never)")
+
+	coordinate := flag.Bool("coordinate", false, "run as the coordinator instead of a worker")
+	shards := flag.Int("shards", 2, "coordinator: shard workers to accept")
+	program := flag.String("program", "pagerank", "coordinator: vertex program (pagerank, sssp, wcc, bfs)")
+	iterations := flag.Int("iterations", 10, "coordinator: pagerank iterations")
+	source := flag.Int64("source", 0, "coordinator: sssp/bfs source vertex")
+	scale := flag.Int("scale", 10, "coordinator: RMAT graph scale (2^scale vertices)")
+	graphSeed := flag.Int64("graph-seed", 7, "coordinator: RMAT graph seed")
+	ckptEvery := flag.Int("checkpoint-every", 2, "coordinator: checkpoint every N supersteps (0 = never)")
+	job := flag.String("job", "cli", "coordinator: checkpoint namespace under the store")
+	maxSessions := flag.Int("max-sessions", 8, "coordinator: give up after this many lost-shard sessions")
+	flag.Parse()
+
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix("hourglass-shard: ")
+	if *storeDir == "" {
+		log.Fatal("-store is required")
+	}
+	store, err := cloud.NewFSStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *coordinate {
+		pspec := dist.ProgramSpec{Name: *program}
+		switch *program {
+		case "pagerank":
+			pspec.Iterations = *iterations
+		case "sssp", "bfs":
+			pspec.Source = *source
+		}
+		cfg := dist.Config{
+			Job:             *job,
+			Program:         pspec,
+			Graph:           dist.GraphSpec{Scale: *scale, Seed: *graphSeed, Undirected: true, Weighted: true},
+			Canonical:       true,
+			CheckpointEvery: *ckptEvery,
+			Store:           store,
+			Logf:            log.Printf,
+		}
+		ln, err := net.Listen("tcp", *coordinator)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("coordinating %q on %s, waiting for %d shards", *program, ln.Addr(), *shards)
+		var rep *dist.Report
+		for session := 0; ; session++ {
+			rep, err = dist.AcceptAndRun(ln, *shards, cfg)
+			if err == nil {
+				break
+			}
+			var lost *dist.ShardLostError
+			if !errors.As(err, &lost) || session+1 >= *maxSessions {
+				log.Fatal(err)
+			}
+			log.Printf("session %d: %v — resuming from the newest checkpoint", session, err)
+		}
+		fmt.Printf("program=%s shards=%d supersteps=%d messages=%d remote=%d frames=%d wirebytes=%d checkpoints=%d resumed=%v\n",
+			*program, *shards, rep.Stats.Supersteps, rep.Stats.MessagesSent, rep.Stats.RemoteMessages,
+			rep.WireFrames, rep.WireBytes, rep.Checkpoints, rep.Resumed)
+		for v := 0; v < len(rep.Values) && v < 4; v++ {
+			fmt.Printf("vertex[%d] = %v\n", v, rep.Values[v])
+		}
+		return
+	}
+
+	opts := dist.ShardOptions{
+		Store:           store,
+		DieAtSuperstep:  *dieAt,
+		MuteAtSuperstep: *muteAt,
+		Logf:            log.Printf,
+	}
+	if *once {
+		if err := dist.Dial(*coordinator, opts); err != nil {
+			log.Print(err)
+			if errors.Is(err, dist.ErrShardDied) {
+				os.Exit(3)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	if err := dist.Serve(*coordinator, opts); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package cloud
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSStoreRoundTrip(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("dist/job/ckpt/00000002/shard-000", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("dist/job/latest", []byte("ptr")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.Get("dist/job/ckpt/00000002/shard-000")
+	if err != nil || string(data) != "blob" {
+		t.Fatalf("get: %q, %v", data, err)
+	}
+	if !s.Exists("dist/job/latest") || s.Exists("dist/job/nope") {
+		t.Fatal("Exists mismatch")
+	}
+	want := []string{"dist/job/ckpt/00000002/shard-000", "dist/job/latest"}
+	got := s.Keys()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	if err := s.Delete("dist/job/latest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("dist/job/latest"); err != nil {
+		t.Fatalf("second delete not idempotent: %v", err)
+	}
+	if _, _, err := s.Get("dist/job/latest"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestFSStoreOverwriteIsAtomicRename(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put("k", []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _, err := s.Get("k")
+	if err != nil || string(data) != "c" {
+		t.Fatalf("get: %q, %v", data, err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "k" {
+		t.Fatalf("leftover entries: %v", entries)
+	}
+}
+
+func TestFSStoreRejectsEscapingKeys(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../outside", "a/../../b", "/abs"} {
+		if _, err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+		if s.Exists(key) {
+			t.Errorf("Exists(%q) true", key)
+		}
+	}
+}
+
+func TestFSStoreKeysSkipsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("real", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Put: an orphaned temp file.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-orphan"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Keys()
+	if len(got) != 1 || got[0] != "real" {
+		t.Fatalf("Keys() = %v, want [real]", got)
+	}
+}
+
+func TestFSStoreSharedAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Put("x/y", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := b.Get("x/y")
+	if err != nil || string(data) != "shared" {
+		t.Fatalf("cross-instance get: %q, %v", data, err)
+	}
+}

@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"hourglass/internal/cloud"
+)
+
+// BenchmarkEngineMessagePlaneDist is the loopback-TCP twin of
+// internal/engine's BenchmarkEngineMessagePlane: the same programs on
+// the same RMAT graph, but every superstep crosses the wire message
+// plane (frames, CRCs, coordinator routing) between in-process shards
+// on loopback TCP. The ns/superstep gap between the two benchmarks is
+// the price of the process split. Numbers feed BENCH_ENGINE.json
+// (scripts/bench_engine.sh).
+func BenchmarkEngineMessagePlaneDist(b *testing.B) {
+	gspec := GraphSpec{Scale: 12, Seed: 42, Undirected: true, Weighted: true}
+	cases := []struct {
+		pspec     ProgramSpec
+		canonical bool
+	}{
+		{ProgramSpec{Name: "pagerank", Iterations: 10}, true},
+		{ProgramSpec{Name: "sssp", Source: 0}, false},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{2, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", tc.pspec.Name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				var supersteps, frames, bytes int64
+				for i := 0; i < b.N; i++ {
+					rep, err := RunCluster(Config{
+						Job:       fmt.Sprintf("bench-%s-%d", tc.pspec.Name, shards),
+						Program:   tc.pspec,
+						Graph:     gspec,
+						Canonical: tc.canonical,
+						Store:     cloud.NewDatastore(),
+					}, shards, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					supersteps += int64(rep.Stats.Supersteps)
+					frames += rep.WireFrames
+					bytes += rep.WireBytes
+				}
+				if supersteps > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(supersteps), "ns/superstep")
+					b.ReportMetric(float64(frames)/float64(supersteps), "frames/superstep")
+					b.ReportMetric(float64(bytes)/float64(supersteps), "wirebytes/superstep")
+				}
+			})
+		}
+	}
+}

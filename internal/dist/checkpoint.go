@@ -1,0 +1,290 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"hourglass/internal/cloud"
+)
+
+// Checkpoint layout in the blob store, namespaced per job:
+//
+//	dist/<job>/ckpt/<superstep %08d>/shard-<i %03d>   per-shard state blob
+//	dist/<job>/ckpt/<superstep %08d>/manifest         coordinator manifest
+//	dist/<job>/latest                                 → newest manifest key
+//
+// Each shard uploads its own blob (owned vertex values + activity +
+// the pending inbox of the resume superstep); the coordinator seals
+// the set with a manifest once every ack is in, then flips the latest
+// pointer. Recovery reads the manifest and hands every shard the full
+// blob list: shards reload all blobs in parallel and keep what they
+// own, so a session can resume under a different shard count — the
+// paper's §6 micro-partition reload across configurations.
+//
+// Blobs and manifests carry the engine checkpoint CRC trailer scheme
+// (magic + CRC32 over the payload), so a corrupt or truncated object
+// is detected and the coordinator falls back to the next-older
+// manifest whose whole blob set validates, mirroring
+// engine.CheckpointManager's fallback scan.
+
+// distMagic seals dist checkpoint objects ("HGDS").
+const distMagic = uint32(0x48474453)
+
+// sealTrailerLen is the magic + CRC32 trailer size.
+const sealTrailerLen = 8
+
+// ErrCorruptObject reports a dist checkpoint object that fails CRC or
+// structural validation.
+var ErrCorruptObject = errors.New("dist: corrupt checkpoint object")
+
+// ErrNoCheckpoint reports an empty namespace (fresh job).
+var ErrNoCheckpoint = errors.New("dist: no checkpoint available")
+
+// seal appends the magic + CRC32 trailer.
+func seal(payload []byte) []byte {
+	out := make([]byte, len(payload)+sealTrailerLen)
+	copy(out, payload)
+	binary.LittleEndian.PutUint32(out[len(payload):], distMagic)
+	binary.LittleEndian.PutUint32(out[len(payload)+4:], crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// unseal validates and strips the trailer.
+func unseal(blob []byte) ([]byte, error) {
+	if len(blob) < sealTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptObject, len(blob))
+	}
+	payload, trailer := blob[:len(blob)-sealTrailerLen], blob[len(blob)-sealTrailerLen:]
+	if binary.LittleEndian.Uint32(trailer[:4]) != distMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic", ErrCorruptObject)
+	}
+	if binary.LittleEndian.Uint32(trailer[4:]) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: CRC32 mismatch", ErrCorruptObject)
+	}
+	return payload, nil
+}
+
+// namespacePrefix is the root of a job's dist keys.
+func namespacePrefix(job string) string { return fmt.Sprintf("dist/%s/", job) }
+
+// latestPointerKey tracks the newest sealed manifest.
+func latestPointerKey(job string) string { return fmt.Sprintf("dist/%s/latest", job) }
+
+// manifestKey names the manifest for a resume superstep.
+func manifestKey(job string, superstep int) string {
+	return fmt.Sprintf("dist/%s/ckpt/%08d/manifest", job, superstep)
+}
+
+// shardBlobKey names one shard's state blob.
+func shardBlobKey(job string, superstep, shard int) string {
+	return fmt.Sprintf("dist/%s/ckpt/%08d/shard-%03d", job, superstep, shard)
+}
+
+// shardBlob is one shard's checkpointed partition state: the values
+// and activity of its owned vertices plus the pending inbox of the
+// superstep the blob resumes into.
+type shardBlob struct {
+	Superstep int
+	Shard     int
+	Vertex    []int32
+	Value     []float64
+	Active    []bool
+	PendDst   []int32
+	PendVal   []float64
+}
+
+func (b *shardBlob) encode() []byte {
+	var w wbuf
+	w.u32(uint32(b.Superstep))
+	w.u32(uint32(b.Shard))
+	w.u32(uint32(len(b.Vertex)))
+	for i, v := range b.Vertex {
+		w.u32(uint32(v))
+		w.f64(b.Value[i])
+		w.bool(b.Active[i])
+	}
+	w.u32(uint32(len(b.PendDst)))
+	for i, d := range b.PendDst {
+		w.u32(uint32(d))
+		w.f64(b.PendVal[i])
+	}
+	return seal(w.b)
+}
+
+func decodeShardBlob(blob []byte) (*shardBlob, error) {
+	payload, err := unseal(blob)
+	if err != nil {
+		return nil, err
+	}
+	r := rbuf{b: payload}
+	b := &shardBlob{Superstep: int(r.u32()), Shard: int(r.u32())}
+	n := r.u32()
+	if r.err != nil || int(n) > r.remaining()/13+1 {
+		return nil, fmt.Errorf("%w: vertex count", ErrCorruptObject)
+	}
+	b.Vertex = make([]int32, 0, n)
+	b.Value = make([]float64, 0, n)
+	b.Active = make([]bool, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		b.Vertex = append(b.Vertex, int32(r.u32()))
+		b.Value = append(b.Value, r.f64())
+		b.Active = append(b.Active, r.bool())
+	}
+	np := r.u32()
+	if r.err != nil || int(np) > r.remaining()/12+1 {
+		return nil, fmt.Errorf("%w: pending count", ErrCorruptObject)
+	}
+	b.PendDst = make([]int32, 0, np)
+	b.PendVal = make([]float64, 0, np)
+	for i := uint32(0); i < np && r.err == nil; i++ {
+		b.PendDst = append(b.PendDst, int32(r.u32()))
+		b.PendVal = append(b.PendVal, r.f64())
+	}
+	if err := r.finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptObject, err)
+	}
+	return b, nil
+}
+
+// manifest seals one complete checkpoint: which blobs belong to it and
+// the aggregator values visible at the resume superstep. Job/program/
+// graph specs are embedded so a resuming coordinator can verify it is
+// restoring the same computation.
+type manifest struct {
+	Job       string
+	Superstep int
+	Shards    int
+	Program   string // ProgramSpec JSON
+	Graph     string // GraphSpec JSON
+	Canonical bool
+	Aggs      aggPairs
+	BlobKeys  []string
+}
+
+func (m *manifest) encode() []byte {
+	var w wbuf
+	w.str(m.Job)
+	w.u32(uint32(m.Superstep))
+	w.u32(uint32(m.Shards))
+	w.str(m.Program)
+	w.str(m.Graph)
+	w.bool(m.Canonical)
+	w.aggs(m.Aggs)
+	w.u32(uint32(len(m.BlobKeys)))
+	for _, k := range m.BlobKeys {
+		w.str(k)
+	}
+	return seal(w.b)
+}
+
+func decodeManifest(blob []byte) (*manifest, error) {
+	payload, err := unseal(blob)
+	if err != nil {
+		return nil, err
+	}
+	r := rbuf{b: payload}
+	m := &manifest{
+		Job:       r.str(),
+		Superstep: int(r.u32()),
+		Shards:    int(r.u32()),
+		Program:   r.str(),
+		Graph:     r.str(),
+		Canonical: r.bool(),
+		Aggs:      r.aggs(),
+	}
+	nk := r.u32()
+	if r.err != nil || int(nk) > r.remaining()/4+1 {
+		return nil, fmt.Errorf("%w: blob key count", ErrCorruptObject)
+	}
+	m.BlobKeys = make([]string, 0, nk)
+	for i := uint32(0); i < nk && r.err == nil; i++ {
+		m.BlobKeys = append(m.BlobKeys, r.str())
+	}
+	if err := r.finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptObject, err)
+	}
+	return m, nil
+}
+
+// loadManifest fetches and validates one manifest AND every blob it
+// references (existence + CRC + per-blob structure). The coordinator
+// pays this extra read so a resuming session never welcomes shards
+// with a manifest whose blob set cannot actually restore.
+func loadManifest(store cloud.BlobStore, key string) (*manifest, error) {
+	blob, _, err := store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(blob)
+	if err != nil {
+		return nil, err
+	}
+	for _, bk := range m.BlobKeys {
+		data, _, err := store.Get(bk)
+		if err != nil {
+			return nil, fmt.Errorf("dist: manifest %q references unreadable blob %q: %w", key, bk, err)
+		}
+		if _, err := decodeShardBlob(data); err != nil {
+			return nil, fmt.Errorf("dist: manifest %q references corrupt blob %q: %w", key, bk, err)
+		}
+	}
+	return m, nil
+}
+
+// loadLatestManifest resolves the newest restorable checkpoint for a
+// job, falling back across older manifests exactly like
+// engine.CheckpointManager.Load: a corrupt pointer, manifest or blob
+// set is skipped, and only a namespace with nothing restorable returns
+// ErrNoCheckpoint.
+func loadLatestManifest(store cloud.BlobStore, job string) (*manifest, error) {
+	if !store.Exists(latestPointerKey(job)) {
+		return nil, ErrNoCheckpoint
+	}
+	skip := ""
+	if ptr, _, err := store.Get(latestPointerKey(job)); err == nil {
+		skip = string(ptr)
+		if m, err := loadManifest(store, skip); err == nil {
+			return m, nil
+		}
+	}
+	// Fallback scan, newest manifest first (keys embed the zero-padded
+	// superstep, so lexicographic descending order is newest-first).
+	prefix := namespacePrefix(job) + "ckpt/"
+	var candidates []string
+	for _, k := range store.Keys() {
+		if strings.HasPrefix(k, prefix) && strings.HasSuffix(k, "/manifest") && k != skip {
+			candidates = append(candidates, k)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(candidates)))
+	for _, k := range candidates {
+		if m, err := loadManifest(store, k); err == nil {
+			return m, nil
+		}
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// clearNamespace deletes a job's latest pointer and every checkpoint
+// object. Like engine.CheckpointManager.Clear, delete failures are
+// collected rather than swallowed so callers can log them.
+func clearNamespace(store cloud.BlobStore, job string) error {
+	var errs []error
+	if err := store.Delete(latestPointerKey(job)); err != nil {
+		errs = append(errs, err)
+	}
+	prefix := namespacePrefix(job)
+	for _, k := range store.Keys() {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if err := store.Delete(k); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

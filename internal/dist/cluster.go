@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// AcceptAndRun accepts `shards` connections on ln and runs one
+// coordinator session over them. Shard ids follow accept order (the
+// Welcome tells each shard which id it got). Accepting is bounded by
+// the watchdog window so a missing shard process fails the session
+// instead of hanging it.
+func AcceptAndRun(ln net.Listener, shards int, cfg Config) (*Report, error) {
+	timeout := cfg.BarrierTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conns := make([]net.Conn, 0, shards)
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for len(conns) < shards {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(time.Now().Add(timeout))
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("dist: accepting shard %d of %d: %w", len(conns), shards, err)
+		}
+		conns = append(conns, c)
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(time.Time{})
+	}
+	return RunCoordinator(conns, cfg)
+}
+
+// RunCluster runs one session with the coordinator and all shard
+// workers in this process, wired over loopback TCP — the one-machine
+// deployment and the unit-test harness. shardOpts, when non-nil,
+// supplies per-shard options (chaos hooks); a zero-Store option
+// inherits cfg.Store.
+func RunCluster(cfg Config, shards int, shardOpts func(i int) ShardOptions) (*Report, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("dist: %d shards", shards)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dist: loopback listener: %w", err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		opts := ShardOptions{Store: cfg.Store}
+		if shardOpts != nil {
+			opts = shardOpts(i)
+			if opts.Store == nil {
+				opts.Store = cfg.Store
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Session errors surface coordinator-side (shard loss); a
+			// shard's own view is diagnostics only.
+			if err := Dial(addr, opts); err != nil {
+				cfg.logf("dist: in-process shard: %v", err)
+			}
+		}()
+	}
+	rep, err := AcceptAndRun(ln, shards, cfg)
+	// Coordinator teardown closed every connection, so the shard
+	// goroutines are unblocked and exiting.
+	wg.Wait()
+	return rep, err
+}
+
+// ExecuteWithRecovery drives a job to completion across shard losses:
+// each *ShardLostError tears the session down and a fresh one resumes
+// from the newest complete checkpoint in cfg.Store (or from scratch if
+// none was written yet). Other errors, and loss beyond maxRestarts,
+// abort. Returns the final report and the number of restarts taken.
+func ExecuteWithRecovery(cfg Config, shards, maxRestarts int, shardOpts func(attempt, shard int) ShardOptions) (*Report, int, error) {
+	for attempt := 0; ; attempt++ {
+		var perShard func(i int) ShardOptions
+		if shardOpts != nil {
+			a := attempt
+			perShard = func(i int) ShardOptions { return shardOpts(a, i) }
+		}
+		rep, err := RunCluster(cfg, shards, perShard)
+		if err == nil {
+			return rep, attempt, nil
+		}
+		var lost *ShardLostError
+		if !errors.As(err, &lost) || attempt >= maxRestarts {
+			return nil, attempt, err
+		}
+		cfg.logf("dist: restarting after %v (attempt %d of %d)", err, attempt+1, maxRestarts)
+	}
+}

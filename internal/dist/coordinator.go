@@ -1,0 +1,727 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/engine"
+	"hourglass/internal/obs"
+)
+
+// Config describes one distributed job from the coordinator's side.
+type Config struct {
+	// Job namespaces the checkpoint keys in Store.
+	Job string
+	// Program and Graph are the specs every process instantiates.
+	Program ProgramSpec
+	Graph   GraphSpec
+	// Canonical selects order-invariant reductions (see engine.Config):
+	// required for bit-identical results across shard counts and
+	// recoveries when the program's reductions are order-sensitive.
+	Canonical bool
+	// Assign maps vertex→shard; nil assigns round-robin (v mod shards).
+	Assign []int32
+	// CheckpointEvery writes a checkpoint after every k supersteps
+	// (0 = never).
+	CheckpointEvery int
+	// MaxSupersteps aborts runaway sessions (0 = 10_000).
+	MaxSupersteps int
+	// BarrierTimeout is the watchdog: a shard that delivers no expected
+	// frame within it is declared dead (0 = 10s).
+	BarrierTimeout time.Duration
+	// Store holds checkpoint blobs and manifests. Must be reachable by
+	// every shard under the same keys (cloud.FSStore on a shared
+	// directory for process shards).
+	Store cloud.BlobStore
+	// Sink receives EvSuperstep / EvCheckpoint / EvShardEvict events.
+	Sink obs.Sink
+	// Logf receives diagnostics (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Report summarises one completed session.
+type Report struct {
+	Values []float64
+	Stats  engine.Stats
+	// WireFrames / WireBytes count coordinator-side traffic, both
+	// directions, session total.
+	WireFrames int64
+	WireBytes  int64
+	// Checkpoints completed during the session.
+	Checkpoints int
+	// Resumed reports whether the session started from a checkpoint,
+	// and StartSuperstep which superstep it started at.
+	Resumed        bool
+	StartSuperstep int
+}
+
+// ShardLostError reports a shard declared dead mid-session: connection
+// loss, protocol violation, or barrier-watchdog expiry. The session is
+// torn down; a new session against the same Store resumes from the
+// newest complete checkpoint.
+type ShardLostError struct {
+	Shard     int
+	Superstep int
+	Cause     error
+}
+
+func (e *ShardLostError) Error() string {
+	return fmt.Sprintf("dist: shard %d lost at superstep %d: %v", e.Shard, e.Superstep, e.Cause)
+}
+
+func (e *ShardLostError) Unwrap() error { return e.Cause }
+
+// frameQueue is an unbounded FIFO of encoded frames feeding one
+// shard's writer goroutine. Unbounded on purpose: the coordinator's
+// reader goroutines route batches into destination queues, and a
+// bounded queue would let one slow TCP receiver backpressure a reader
+// into deadlock across the barrier.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues one frame (no-op after close).
+func (q *frameQueue) push(typ byte, payload []byte) {
+	frame := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), typ, payload)
+	q.mu.Lock()
+	if !q.closed {
+		q.frames = append(q.frames, frame)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// popAll blocks until frames are queued (or the queue closes) and
+// drains them, so the writer can write a burst and flush once.
+func (q *frameQueue) popAll() ([][]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	frames := q.frames
+	q.frames = nil
+	return frames, len(frames) > 0 || !q.closed
+}
+
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.frames = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// shardEvent is a non-batch frame (or reader error) surfaced to the
+// coordinator's main loop.
+type shardEvent struct {
+	shard   int
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// session is one coordinator run over an established set of shard
+// connections.
+type session struct {
+	cfg     Config
+	shards  int
+	timeout time.Duration
+
+	prog     engine.Program
+	progJSON string
+	graphJS  string
+	n        int
+	assign   []int32
+
+	aggNames []string
+	aggSpec  map[string]engine.AggregatorSpec
+	view     map[string]float64
+
+	conns  []net.Conn
+	queues []*frameQueue
+	events chan shardEvent
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	wireFrames atomic.Int64
+	wireBytes  atomic.Int64
+
+	superstep int
+	report    Report
+}
+
+// RunCoordinator drives one session over conns (conn i = shard i):
+// handshake, superstep loop with barriers, checkpoints, halt, value
+// collection. On shard loss it returns *ShardLostError after emitting
+// obs.EvShardEvict; the caller restarts with fresh connections and the
+// same Store to resume.
+func RunCoordinator(conns []net.Conn, cfg Config) (*Report, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("dist: no shard connections")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("dist: Config.Store is required")
+	}
+	if cfg.Job == "" {
+		return nil, errors.New("dist: Config.Job is required")
+	}
+	s := &session{
+		cfg:     cfg,
+		shards:  len(conns),
+		timeout: cfg.BarrierTimeout,
+		conns:   conns,
+		events:  make(chan shardEvent, len(conns)*4),
+		quit:    make(chan struct{}),
+	}
+	if s.timeout <= 0 {
+		s.timeout = 10 * time.Second
+	}
+	if err := s.prepare(); err != nil {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	defer func() {
+		close(s.quit)
+		for _, q := range s.queues {
+			q.close()
+		}
+		for _, c := range s.conns {
+			c.Close()
+		}
+		s.wg.Wait()
+	}()
+	return s.run()
+}
+
+// prepare instantiates the specs and the vertex assignment.
+func (s *session) prepare() error {
+	var err error
+	s.prog, err = s.cfg.Program.New()
+	if err != nil {
+		return err
+	}
+	g, err := s.cfg.Graph.Build()
+	if err != nil {
+		return err
+	}
+	s.n = g.NumVertices()
+	if s.progJSON, err = marshalSpec(s.cfg.Program); err != nil {
+		return err
+	}
+	if s.graphJS, err = marshalSpec(s.cfg.Graph); err != nil {
+		return err
+	}
+	if s.cfg.Assign != nil {
+		if len(s.cfg.Assign) != s.n {
+			return fmt.Errorf("dist: assignment length %d for %d vertices", len(s.cfg.Assign), s.n)
+		}
+		for v, o := range s.cfg.Assign {
+			if o < 0 || int(o) >= s.shards {
+				return fmt.Errorf("dist: vertex %d assigned to shard %d of %d", v, o, s.shards)
+			}
+		}
+		s.assign = s.cfg.Assign
+	} else {
+		s.assign = make([]int32, s.n)
+		for v := range s.assign {
+			s.assign[v] = int32(v % s.shards)
+		}
+	}
+	s.aggSpec = map[string]engine.AggregatorSpec{}
+	s.view = map[string]float64{}
+	if a, ok := s.prog.(engine.Aggregators); ok {
+		for _, spec := range a.Aggregators() {
+			s.aggSpec[spec.Name] = spec
+			s.view[spec.Name] = spec.Identity
+			s.aggNames = append(s.aggNames, spec.Name)
+		}
+		sort.Strings(s.aggNames)
+	}
+	return nil
+}
+
+// viewPairs snapshots the reduced aggregator values, name-sorted.
+func (s *session) viewPairs() aggPairs {
+	a := aggPairs{
+		Names: s.aggNames,
+		Vals:  make([]float64, len(s.aggNames)),
+	}
+	for i, name := range s.aggNames {
+		a.Vals[i] = s.view[name]
+	}
+	return a
+}
+
+// reader pumps one shard's connection: batches are routed straight to
+// their destination shard's write queue (using the fixed To offset, no
+// full decode); everything else goes to the main loop.
+func (s *session) reader(shard int) {
+	defer s.wg.Done()
+	br := bufio.NewReaderSize(s.conns[shard], 1<<16)
+	for {
+		typ, payload, size, err := readFrame(br)
+		if err != nil {
+			s.post(shardEvent{shard: shard, err: err})
+			return
+		}
+		s.wireFrames.Add(1)
+		s.wireBytes.Add(int64(size))
+		if typ != fBatch {
+			s.post(shardEvent{shard: shard, typ: typ, payload: payload})
+			continue
+		}
+		if len(payload) < batchToOffset+4 {
+			s.post(shardEvent{shard: shard, err: fmt.Errorf("%w: short batch", ErrCorruptFrame)})
+			return
+		}
+		to := binary.LittleEndian.Uint32(payload[batchToOffset:])
+		if int(to) >= s.shards {
+			s.post(shardEvent{shard: shard, err: fmt.Errorf("dist: batch addressed to shard %d of %d", to, s.shards)})
+			return
+		}
+		s.queues[to].push(fBatch, payload)
+	}
+}
+
+// post delivers an event to the main loop unless the session is
+// tearing down.
+func (s *session) post(ev shardEvent) {
+	select {
+	case s.events <- ev:
+	case <-s.quit:
+	}
+}
+
+// writer drains one shard's frame queue onto its connection.
+func (s *session) writer(shard int) {
+	defer s.wg.Done()
+	bw := bufio.NewWriterSize(s.conns[shard], 1<<16)
+	for {
+		frames, ok := s.popOrQuit(shard)
+		if !ok {
+			return
+		}
+		for _, f := range frames {
+			if _, err := bw.Write(f); err != nil {
+				s.post(shardEvent{shard: shard, err: err})
+				return
+			}
+			s.wireFrames.Add(1)
+			s.wireBytes.Add(int64(len(f)))
+		}
+		if err := bw.Flush(); err != nil {
+			s.post(shardEvent{shard: shard, err: err})
+			return
+		}
+	}
+}
+
+func (s *session) popOrQuit(shard int) ([][]byte, bool) {
+	return s.queues[shard].popAll()
+}
+
+// lost declares a shard dead: emits the eviction event and returns the
+// error the caller propagates.
+func (s *session) lost(shard int, cause error) error {
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Event{
+			Type:      obs.EvShardEvict,
+			Job:       s.prog.Name(),
+			Shard:     shard,
+			Superstep: s.superstep,
+			Err:       cause.Error(),
+		})
+	}
+	s.cfg.logf("dist: shard %d lost at superstep %d: %v", shard, s.superstep, cause)
+	return &ShardLostError{Shard: shard, Superstep: s.superstep, Cause: cause}
+}
+
+// gather waits until every shard delivered one frame of the given
+// type, returning payloads indexed by shard. Reader errors, protocol
+// violations and watchdog expiry all become ShardLostError. final
+// marks the session's last phase, where a disconnect from a shard that
+// already delivered is the normal end of its session, not a loss.
+func (s *session) gather(typ byte, phase string, final bool) ([][]byte, error) {
+	out := make([][]byte, s.shards)
+	seen := make([]bool, s.shards)
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	for got := 0; got < s.shards; {
+		var ev shardEvent
+		select {
+		case ev = <-s.events:
+		case <-timer.C:
+			for i := range seen {
+				if !seen[i] {
+					return nil, s.lost(i, fmt.Errorf("dist: no %s within %v (barrier watchdog)", phase, s.timeout))
+				}
+			}
+			return nil, fmt.Errorf("dist: watchdog fired with all %s present", phase)
+		}
+		if ev.err != nil {
+			if final && seen[ev.shard] {
+				continue
+			}
+			return nil, s.lost(ev.shard, ev.err)
+		}
+		if ev.typ != typ {
+			return nil, s.lost(ev.shard, fmt.Errorf("dist: frame type %d while gathering %s", ev.typ, phase))
+		}
+		if seen[ev.shard] {
+			return nil, s.lost(ev.shard, fmt.Errorf("dist: duplicate %s", phase))
+		}
+		seen[ev.shard] = true
+		out[ev.shard] = ev.payload
+		got++
+	}
+	return out, nil
+}
+
+// broadcast queues one frame for every shard.
+func (s *session) broadcast(typ byte, payload []byte) {
+	for _, q := range s.queues {
+		q.push(typ, payload)
+	}
+}
+
+func (s *session) run() (*Report, error) {
+	// Resume decision: newest checkpoint whose whole blob set
+	// validates, or a fresh start.
+	start := 0
+	var blobKeys []string
+	if m, err := loadLatestManifest(s.cfg.Store, s.cfg.Job); err == nil {
+		if m.Program != s.progJSON || m.Graph != s.graphJS || m.Canonical != s.cfg.Canonical {
+			return nil, fmt.Errorf("dist: checkpoint for job %q belongs to a different computation", s.cfg.Job)
+		}
+		start = m.Superstep
+		blobKeys = m.BlobKeys
+		for i, name := range m.Aggs.Names {
+			if _, ok := s.aggSpec[name]; ok {
+				s.view[name] = m.Aggs.Vals[i]
+			}
+		}
+		s.report.Resumed = true
+	} else if !errors.Is(err, ErrNoCheckpoint) {
+		return nil, err
+	}
+	s.superstep = start
+	s.report.StartSuperstep = start
+
+	s.queues = make([]*frameQueue, s.shards)
+	for i := range s.queues {
+		s.queues[i] = newFrameQueue()
+	}
+	s.wg.Add(2 * s.shards)
+	for i := 0; i < s.shards; i++ {
+		go s.reader(i)
+		go s.writer(i)
+	}
+
+	// Handshake: Hello from everyone, then per-shard Welcomes.
+	hellos, err := s.gather(fHello, "hello", false)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range hellos {
+		h, derr := decodeHello(p)
+		if derr != nil {
+			return nil, s.lost(i, derr)
+		}
+		if h.Version != wireVersion {
+			return nil, s.lost(i, fmt.Errorf("dist: shard speaks wire version %d, coordinator speaks %d", h.Version, wireVersion))
+		}
+	}
+	for i := 0; i < s.shards; i++ {
+		w := welcomeMsg{
+			Version:   wireVersion,
+			Shard:     uint32(i),
+			Shards:    uint32(s.shards),
+			Canonical: s.cfg.Canonical,
+			Start:     uint32(start),
+			Program:   s.progJSON,
+			Graph:     s.graphJS,
+			Assign:    s.assign,
+			Aggs:      s.viewPairs(),
+			BlobKeys:  blobKeys,
+		}
+		s.queues[i].push(fWelcome, w.encode())
+	}
+
+	frontier, err := s.awaitFrontier(start)
+	if err != nil {
+		return nil, err
+	}
+
+	maxSteps := s.cfg.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 10_000
+	}
+	S := start
+	for frontier > 0 {
+		if S-start >= maxSteps {
+			return nil, fmt.Errorf("dist: exceeded %d supersteps without halting", maxSteps)
+		}
+		wf0, wb0 := s.wireFrames.Load(), s.wireBytes.Load()
+		s.broadcast(fProceed, proceedMsg{Superstep: uint32(S), Aggs: s.viewPairs()}.encode())
+
+		votes, err := s.gather(fBarrier, "barrier vote", false)
+		if err != nil {
+			return nil, err
+		}
+		barriers := make([]barrierMsg, s.shards)
+		var stepSent, stepCalls, stepComb, stepRemote int64
+		for i, p := range votes {
+			b, derr := decodeBarrier(p)
+			if derr != nil {
+				return nil, s.lost(i, derr)
+			}
+			if int(b.Superstep) != S {
+				return nil, s.lost(i, fmt.Errorf("dist: barrier for superstep %d during %d", b.Superstep, S))
+			}
+			barriers[i] = b
+			stepSent += int64(b.Sent)
+			stepCalls += int64(b.Calls)
+			stepComb += int64(b.Combined)
+			stepRemote += int64(b.Remote)
+		}
+		s.foldAggs(barriers)
+		s.report.Stats.MessagesSent += stepSent
+		s.report.Stats.ComputeCalls += stepCalls
+		s.report.Stats.RemoteMessages += stepRemote
+		s.report.Stats.Supersteps++
+
+		// All barriers in ⇒ every batch is queued behind its
+		// destination's EndBatches-to-come (readers enqueue a shard's
+		// batches before forwarding its barrier, queues are FIFO).
+		s.broadcast(fEndBatches, endBatchesMsg{Superstep: uint32(S)}.encode())
+
+		frontier, err = s.awaitFrontier(S + 1)
+		if err != nil {
+			return nil, err
+		}
+		s.superstep = S + 1
+
+		if s.cfg.Sink != nil {
+			s.cfg.Sink.Emit(obs.Event{
+				Type:       obs.EvSuperstep,
+				Job:        s.prog.Name(),
+				Superstep:  S + 1, // 1-based, matching the engine
+				Active:     stepCalls,
+				Messages:   stepSent,
+				Combined:   stepComb,
+				WireFrames: s.wireFrames.Load() - wf0,
+				WireBytes:  s.wireBytes.Load() - wb0,
+			})
+		}
+
+		if s.cfg.CheckpointEvery > 0 && (S+1-start)%s.cfg.CheckpointEvery == 0 && frontier > 0 {
+			if err := s.checkpointAll(S + 1); err != nil {
+				return nil, err
+			}
+		}
+		S++
+	}
+
+	// Halt: collect the final values.
+	s.broadcast(fProceed, proceedMsg{Superstep: uint32(S), Halt: true, Aggs: s.viewPairs()}.encode())
+	valueFrames, err := s.gather(fValues, "final values", true)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, s.n)
+	covered := make([]bool, s.n)
+	for i, p := range valueFrames {
+		vm, derr := decodeValues(p)
+		if derr != nil {
+			return nil, s.lost(i, derr)
+		}
+		for j, vtx := range vm.Vertex {
+			if vtx < 0 || int(vtx) >= s.n || covered[vtx] {
+				return nil, s.lost(i, fmt.Errorf("dist: bad or duplicate final value for vertex %d", vtx))
+			}
+			if s.assign[vtx] != int32(i) {
+				return nil, s.lost(i, fmt.Errorf("dist: shard reported vertex %d owned by shard %d", vtx, s.assign[vtx]))
+			}
+			covered[vtx] = true
+			values[vtx] = vm.Val[j]
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("dist: no shard reported a final value for vertex %d", v)
+		}
+	}
+	s.report.Values = values
+	s.report.WireFrames = s.wireFrames.Load()
+	s.report.WireBytes = s.wireBytes.Load()
+	rep := s.report
+	return &rep, nil
+}
+
+// awaitFrontier gathers Inboxed votes for a superstep and returns the
+// global frontier size.
+func (s *session) awaitFrontier(superstep int) (uint64, error) {
+	frames, err := s.gather(fInboxed, "inboxed vote", false)
+	if err != nil {
+		return 0, err
+	}
+	var frontier uint64
+	for i, p := range frames {
+		m, derr := decodeInboxed(p)
+		if derr != nil {
+			return 0, s.lost(i, derr)
+		}
+		if int(m.Superstep) != superstep {
+			return 0, s.lost(i, fmt.Errorf("dist: inboxed vote for superstep %d during %d", m.Superstep, superstep))
+		}
+		frontier += m.Frontier
+	}
+	return frontier, nil
+}
+
+// foldAggs reduces the shards' barrier contributions exactly like the
+// engine's barrier fold: canonical merges every raw term and folds
+// value-sorted; otherwise one partial per shard folds in shard order.
+// Values are recomputed each superstep (identity when nothing
+// contributed), never carried over.
+func (s *session) foldAggs(barriers []barrierMsg) {
+	if len(s.aggNames) == 0 {
+		return
+	}
+	if s.cfg.Canonical {
+		merged := map[string][]float64{}
+		for _, b := range barriers {
+			for i, name := range b.AggNames {
+				if _, ok := s.aggSpec[name]; ok {
+					merged[name] = append(merged[name], b.Contribs[i]...)
+				}
+			}
+		}
+		for _, name := range s.aggNames {
+			spec := s.aggSpec[name]
+			lst := merged[name]
+			sort.Float64s(lst)
+			val := spec.Identity
+			for i, c := range lst {
+				if i == 0 {
+					val = c
+				} else {
+					val = spec.Reduce(val, c)
+				}
+			}
+			s.view[name] = val
+		}
+		return
+	}
+	for _, name := range s.aggNames {
+		spec := s.aggSpec[name]
+		val := spec.Identity
+		contributed := false
+		for _, b := range barriers {
+			for i, n2 := range b.AggNames {
+				if n2 != name || len(b.Contribs[i]) == 0 {
+					continue
+				}
+				if contributed {
+					val = spec.Reduce(val, b.Contribs[i][0])
+				} else {
+					val = b.Contribs[i][0]
+					contributed = true
+				}
+			}
+		}
+		s.view[name] = val
+	}
+}
+
+// checkpointAll runs one checkpoint round for a resume into superstep
+// R: every shard writes its blob, and once every ack is in the
+// coordinator seals the set with a manifest and flips the latest
+// pointer. A failed blob write skips the manifest (the previous
+// checkpoint stays authoritative) but does not abort the run.
+func (s *session) checkpointAll(R int) error {
+	keys := make([]string, s.shards)
+	for i := range keys {
+		keys[i] = shardBlobKey(s.cfg.Job, R, i)
+		s.queues[i].push(fCheckpoint, checkpointMsg{Superstep: uint32(R), Key: keys[i]}.encode())
+	}
+	acks, err := s.gather(fCheckpointAck, "checkpoint ack", false)
+	if err != nil {
+		return err
+	}
+	var totalBytes uint64
+	for i, p := range acks {
+		ack, derr := decodeCheckpointAck(p)
+		if derr != nil {
+			return s.lost(i, derr)
+		}
+		if int(ack.Superstep) != R {
+			return s.lost(i, fmt.Errorf("dist: checkpoint ack for superstep %d during %d", ack.Superstep, R))
+		}
+		if ack.Err != "" {
+			s.cfg.logf("dist: shard %d checkpoint at superstep %d failed: %s", i, R, ack.Err)
+			return nil
+		}
+		totalBytes += ack.Bytes
+	}
+	m := &manifest{
+		Job:       s.cfg.Job,
+		Superstep: R,
+		Shards:    s.shards,
+		Program:   s.progJSON,
+		Graph:     s.graphJS,
+		Canonical: s.cfg.Canonical,
+		Aggs:      s.viewPairs(),
+		BlobKeys:  keys,
+	}
+	mk := manifestKey(s.cfg.Job, R)
+	if _, err := s.cfg.Store.Put(mk, m.encode()); err != nil {
+		s.cfg.logf("dist: manifest write at superstep %d failed: %v", R, err)
+		return nil
+	}
+	if _, err := s.cfg.Store.Put(latestPointerKey(s.cfg.Job), []byte(mk)); err != nil {
+		s.cfg.logf("dist: latest pointer write at superstep %d failed: %v", R, err)
+		return nil
+	}
+	s.report.Checkpoints++
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Event{
+			Type:      obs.EvCheckpoint,
+			Job:       s.prog.Name(),
+			Superstep: R,
+			WireBytes: int64(totalBytes),
+		})
+	}
+	return nil
+}
+
+// ClearJob removes every checkpoint object a job left in the store.
+func ClearJob(store cloud.BlobStore, job string) error {
+	return clearNamespace(store, job)
+}

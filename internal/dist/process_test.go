@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/obs"
+)
+
+// buildShardBinary compiles cmd/hourglass-shard once per test binary.
+func buildShardBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hourglass-shard")
+	cmd := exec.Command("go", "build", "-o", bin, "hourglass/cmd/hourglass-shard")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hourglass-shard: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// spawnShard launches one worker process against the coordinator.
+func spawnShard(t *testing.T, bin, addr, storeDir string, dieAt int) *exec.Cmd {
+	t.Helper()
+	args := []string{"-coordinator", addr, "-store", storeDir, "-once"}
+	if dieAt > 0 {
+		args = append(args, "-die-at", strconv.Itoa(dieAt))
+	}
+	cmd := exec.Command(bin, args...)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting shard process: %v", err)
+	}
+	return cmd
+}
+
+// TestDistProcess runs the coordinator against four real OS shard
+// processes over loopback, for PageRank and SSSP, and demands
+// bit-identical values versus the single-process engine. This is the
+// CI integration target (runs under -race on the coordinator side).
+func TestDistProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and compiles a binary")
+	}
+	bin := buildShardBinary(t)
+	storeDir := t.TempDir()
+	store, err := cloud.NewFSStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pspec     ProgramSpec
+		canonical bool
+	}{
+		{ProgramSpec{Name: "pagerank", Iterations: 10}, true},
+		{ProgramSpec{Name: "sssp", Source: 0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pspec.Name, func(t *testing.T) {
+			ref := refRun(t, tc.pspec, tc.canonical)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			const shards = 4
+			procs := make([]*exec.Cmd, shards)
+			for i := range procs {
+				procs[i] = spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
+			}
+			rep, err := AcceptAndRun(ln, shards, Config{
+				Job:            "proc-" + tc.pspec.Name,
+				Program:        tc.pspec,
+				Graph:          testGraph,
+				Canonical:      tc.canonical,
+				BarrierTimeout: 30 * time.Second,
+				Store:          store,
+			})
+			for _, p := range procs {
+				if werr := p.Wait(); werr != nil {
+					t.Errorf("shard process: %v", werr)
+				}
+			}
+			if err != nil {
+				t.Fatalf("coordinator: %v", err)
+			}
+			assertBitIdentical(t, rep.Values, ref.Values, "4 shard processes")
+		})
+	}
+}
+
+// TestDistProcessKillRecovery kills a real shard process mid-superstep
+// (the worker exits with the injected-death code), then resumes with a
+// replacement process: the recovered run must reload the per-shard
+// checkpoint blobs from the shared directory and finish bit-identical
+// to an uninterrupted single-process run.
+func TestDistProcessKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and compiles a binary")
+	}
+	bin := buildShardBinary(t)
+	storeDir := t.TempDir()
+	store, err := cloud.NewFSStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pspec := ProgramSpec{Name: "pagerank", Iterations: 10}
+	ref := refRun(t, pspec, true)
+	sink := &captureSink{}
+	cfg := Config{
+		Job:             "proc-kill",
+		Program:         pspec,
+		Graph:           testGraph,
+		Canonical:       true,
+		CheckpointEvery: 2,
+		BarrierTimeout:  30 * time.Second,
+		Store:           store,
+		Sink:            sink,
+	}
+	const shards = 2
+
+	// Session 1: one worker is rigged to die mid-superstep 5.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	healthy := spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
+	doomed := spawnShard(t, bin, ln.Addr().String(), storeDir, 5)
+	_, err = AcceptAndRun(ln, shards, cfg)
+	var lost *ShardLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("session 1: %v, want ShardLostError", err)
+	}
+	var exit *exec.ExitError
+	if werr := doomed.Wait(); !errors.As(werr, &exit) || exit.ExitCode() != 3 {
+		t.Fatalf("doomed process exit: %v, want code 3", werr)
+	}
+	if werr := healthy.Wait(); werr == nil {
+		t.Log("healthy worker exited cleanly after teardown")
+	}
+	if got := len(sink.byType(obs.EvShardEvict)); got != 1 {
+		t.Fatalf("%d shard-evict events, want 1", got)
+	}
+
+	// Session 2: two fresh processes resume from the shared directory.
+	for i := 0; i < shards; i++ {
+		spawned := spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
+		defer spawned.Wait()
+	}
+	rep, err := AcceptAndRun(ln, shards, cfg)
+	if err != nil {
+		t.Fatalf("session 2: %v", err)
+	}
+	if !rep.Resumed || rep.StartSuperstep != 4 {
+		t.Fatalf("resumed=%v start=%d, want resume at superstep 4", rep.Resumed, rep.StartSuperstep)
+	}
+	assertBitIdentical(t, rep.Values, ref.Values, "process kill recovery")
+
+	// The checkpoint blobs really are files on disk.
+	if keys := store.Keys(); len(keys) == 0 {
+		t.Error("no checkpoint files under the shared directory")
+	}
+}

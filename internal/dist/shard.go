@@ -1,0 +1,757 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+)
+
+// batchChunk caps the slot entries per Batch frame so one frame stays
+// small enough to pipeline (and far below MaxFrameBytes).
+const batchChunk = 32768
+
+// ShardOptions configure a shard worker.
+type ShardOptions struct {
+	// Store holds checkpoint blobs (required; a process shard uses a
+	// cloud.FSStore rooted at the directory shared with the
+	// coordinator).
+	Store cloud.BlobStore
+	// DieAtSuperstep, when > 0, abruptly drops the connection halfway
+	// through computing that superstep's worklist — the chaos hook that
+	// stands in for a spot eviction killing the process mid-superstep.
+	DieAtSuperstep int
+	// MuteAtSuperstep, when > 0, computes that superstep normally but
+	// never sends the barrier vote, leaving the connection open. It
+	// exercises the coordinator's barrier watchdog.
+	MuteAtSuperstep int
+	// Logf receives diagnostics (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+// ErrShardDied is returned by RunShard when DieAtSuperstep triggered.
+var ErrShardDied = errors.New("dist: shard killed by fault injection")
+
+func (o ShardOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// RunShard serves one coordinator session on an established
+// connection: handshake, state build (fresh or checkpoint reload),
+// then the superstep protocol until halt or error.
+func RunShard(conn net.Conn, opts ShardOptions) error {
+	defer conn.Close()
+	if opts.Store == nil {
+		return errors.New("dist: ShardOptions.Store is required")
+	}
+	s := &shardSession{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+		opts: opts,
+	}
+	return s.run()
+}
+
+// Dial connects to a coordinator and serves one session.
+func Dial(addr string, opts ShardOptions) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
+	}
+	return RunShard(conn, opts)
+}
+
+// Serve runs sessions against a coordinator address in a loop: each
+// completed or broken session is followed by a reconnect, so one shard
+// process can serve the successive sessions a recovering job goes
+// through. Serve returns only when a connection cannot be established
+// within the retry budget (e.g. the coordinator is gone for good).
+func Serve(addr string, opts ShardOptions) error {
+	const (
+		retryEvery = 100 * time.Millisecond
+		retryFor   = 30 * time.Second
+	)
+	for {
+		var conn net.Conn
+		var err error
+		deadline := time.Now().Add(retryFor)
+		for {
+			conn, err = net.Dial("tcp", addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("dist: coordinator %s unreachable for %v: %w", addr, retryFor, err)
+			}
+			time.Sleep(retryEvery)
+		}
+		if err := RunShard(conn, opts); err != nil {
+			opts.logf("dist: shard session ended: %v", err)
+			if errors.Is(err, ErrShardDied) {
+				// The injected death is one-shot: the next session (the
+				// recovery attempt) must be allowed to finish.
+				opts.DieAtSuperstep = 0
+			}
+		}
+	}
+}
+
+// shardSession is the state of one shard over one coordinator session.
+// It implements engine.ContextHost, so unmodified engine.Programs run
+// against it through the regular Context API.
+//
+// Inboxes are double-buffered by superstep parity: a message sent
+// during superstep S is consumed at S+1 and lands in buffer (S+1)&1.
+// The parity index (rather than a single cur/next swap) makes batch
+// ingestion independent of where the shard is in its own step
+// lifecycle — a batch tagged S routed to a shard that has not yet
+// received Proceed(S+1) still lands in the right buffer.
+type shardSession struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	opts ShardOptions
+
+	id        int
+	shards    int
+	canonical bool
+
+	g     *graph.Graph
+	prog  engine.Program
+	ctx   *engine.Context
+	comb  engine.Combiner
+	owner []int32
+	owned []graph.VertexID // this shard's vertices, ascending
+
+	values []float64
+	active []bool
+
+	// Parity-indexed inbox + worklist state.
+	queued [2][]bool
+	work   [2][]graph.VertexID
+	inVal  [2][]float64   // combiner path: dense folded inbox
+	inSet  [2][]bool      //
+	inMsgs [2][][]float64 // raw path: per-vertex message lists
+
+	// Remote send staging. Combiner path: the PR 2 dense slots, with
+	// the touched destinations recorded per destination shard — the
+	// batching unit on the wire. Raw path: per-shard (dst, val) pairs.
+	accVal []float64
+	accSet []bool
+	staged [][]graph.VertexID
+	outDst [][]int32
+	outVal [][]float64
+
+	aggNames []string // sorted; registered aggregator names
+	aggSpec  map[string]engine.AggregatorSpec
+	aggView  map[string]float64   // reduced values visible this superstep
+	aggList  map[string][]float64 // canonical: raw contributions this step
+	aggLocal map[string]float64   // non-canonical: folded partial this step
+	aggSeen  map[string]bool
+
+	superstep int
+	sent      int64
+	calls     int64
+	combined  int64
+	remote    int64
+}
+
+// send encodes one frame into the write buffer (no flush).
+func (s *shardSession) send(typ byte, payload []byte) error {
+	_, err := writeFrame(s.bw, typ, payload)
+	return err
+}
+
+// flush pushes buffered frames onto the wire.
+func (s *shardSession) flush() error { return s.bw.Flush() }
+
+func (s *shardSession) run() error {
+	if err := s.send(fHello, helloMsg{Version: wireVersion}.encode()); err != nil {
+		return err
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	typ, payload, _, err := readFrame(s.br)
+	if err != nil {
+		return fmt.Errorf("dist: reading welcome: %w", err)
+	}
+	if typ != fWelcome {
+		return fmt.Errorf("dist: expected welcome, got frame type %d", typ)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+	if w.Version != wireVersion {
+		return fmt.Errorf("dist: coordinator speaks wire version %d, shard speaks %d", w.Version, wireVersion)
+	}
+	if err := s.init(w); err != nil {
+		return err
+	}
+	start := int(w.Start)
+	if err := s.send(fInboxed, inboxedMsg{Superstep: uint32(start), Frontier: uint64(len(s.work[start&1]))}.encode()); err != nil {
+		return err
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	for {
+		typ, payload, _, err := readFrame(s.br)
+		if err != nil {
+			return fmt.Errorf("dist: shard %d: %w", s.id, err)
+		}
+		switch typ {
+		case fBatch:
+			b, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			if err := s.ingestBatch(b); err != nil {
+				return err
+			}
+		case fCheckpoint:
+			req, err := decodeCheckpoint(payload)
+			if err != nil {
+				return err
+			}
+			if err := s.checkpoint(req); err != nil {
+				return err
+			}
+		case fProceed:
+			p, err := decodeProceed(payload)
+			if err != nil {
+				return err
+			}
+			if p.Halt {
+				return s.sendValues()
+			}
+			if err := s.step(p); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: shard %d: unexpected frame type %d", s.id, typ)
+		}
+	}
+}
+
+// init builds the shard's state from the welcome: graph and program
+// from their specs, then either a fresh Init pass or a parallel reload
+// of the checkpoint blob set (keeping only owned vertices, so the blob
+// set may come from a session with a different shard count).
+func (s *shardSession) init(w welcomeMsg) error {
+	pspec, err := unmarshalProgramSpec(w.Program)
+	if err != nil {
+		return err
+	}
+	gspec, err := unmarshalGraphSpec(w.Graph)
+	if err != nil {
+		return err
+	}
+	s.prog, err = pspec.New()
+	if err != nil {
+		return err
+	}
+	s.g, err = gspec.Build()
+	if err != nil {
+		return err
+	}
+	n := s.g.NumVertices()
+	s.id, s.shards, s.canonical = int(w.Shard), int(w.Shards), w.Canonical
+	if s.shards <= 0 || s.id < 0 || s.id >= s.shards {
+		return fmt.Errorf("dist: shard id %d of %d", s.id, s.shards)
+	}
+	if len(w.Assign) != n {
+		return fmt.Errorf("dist: assignment length %d for %d vertices", len(w.Assign), n)
+	}
+	s.owner = w.Assign
+	for v, o := range s.owner {
+		if o < 0 || int(o) >= s.shards {
+			return fmt.Errorf("dist: vertex %d assigned to shard %d of %d", v, o, s.shards)
+		}
+		if int(o) == s.id {
+			s.owned = append(s.owned, graph.VertexID(v))
+		}
+	}
+	if c, ok := s.prog.(engine.Combiner); ok && !s.canonical {
+		s.comb = c
+	}
+
+	s.values = make([]float64, n)
+	s.active = make([]bool, n)
+	for p := 0; p < 2; p++ {
+		s.queued[p] = make([]bool, n)
+		if s.comb != nil {
+			s.inVal[p] = make([]float64, n)
+			s.inSet[p] = make([]bool, n)
+		} else {
+			s.inMsgs[p] = make([][]float64, n)
+		}
+	}
+	if s.comb != nil {
+		s.accVal = make([]float64, n)
+		s.accSet = make([]bool, n)
+		s.staged = make([][]graph.VertexID, s.shards)
+	} else {
+		s.outDst = make([][]int32, s.shards)
+		s.outVal = make([][]float64, s.shards)
+	}
+
+	s.aggSpec = map[string]engine.AggregatorSpec{}
+	s.aggView = map[string]float64{}
+	if a, ok := s.prog.(engine.Aggregators); ok {
+		for _, spec := range a.Aggregators() {
+			s.aggSpec[spec.Name] = spec
+			s.aggView[spec.Name] = spec.Identity
+			s.aggNames = append(s.aggNames, spec.Name)
+		}
+		sort.Strings(s.aggNames)
+	}
+	if s.canonical {
+		s.aggList = map[string][]float64{}
+	} else {
+		s.aggLocal = map[string]float64{}
+		s.aggSeen = map[string]bool{}
+	}
+	s.setAggView(w.Aggs)
+	s.ctx = engine.NewHostContext(s)
+
+	start := int(w.Start)
+	par := start & 1
+	if len(w.BlobKeys) == 0 {
+		// Fresh start: Init every vertex (bundled programs derive values
+		// from the graph alone, so non-owned values are consistent too);
+		// only owned vertices join the worklist.
+		for v := 0; v < n; v++ {
+			val, act := s.prog.Init(s.g, graph.VertexID(v))
+			s.values[v] = val
+			if int(s.owner[v]) == s.id {
+				s.active[v] = act
+				if act {
+					s.enqueue(par, graph.VertexID(v))
+				}
+			}
+		}
+		return nil
+	}
+	// Resume: reload the full blob set and keep what we own. Every
+	// shard does this concurrently — the §6 parallel micro-partition
+	// reload — and because filtering is by the *current* assignment,
+	// the blob set may have been written under a different shard count.
+	for _, key := range w.BlobKeys {
+		data, _, err := s.opts.Store.Get(key)
+		if err != nil {
+			return fmt.Errorf("dist: shard %d loading blob %q: %w", s.id, key, err)
+		}
+		blob, err := decodeShardBlob(data)
+		if err != nil {
+			return fmt.Errorf("dist: shard %d blob %q: %w", s.id, key, err)
+		}
+		for i, vtx := range blob.Vertex {
+			if vtx < 0 || int(vtx) >= n {
+				return fmt.Errorf("dist: blob %q names vertex %d of %d", key, vtx, n)
+			}
+			s.values[vtx] = blob.Value[i]
+			if int(s.owner[vtx]) == s.id {
+				s.active[vtx] = blob.Active[i]
+				if blob.Active[i] {
+					s.enqueue(par, graph.VertexID(vtx))
+				}
+			}
+		}
+		for i, d := range blob.PendDst {
+			if d < 0 || int(d) >= n {
+				return fmt.Errorf("dist: blob %q pending for vertex %d of %d", key, d, n)
+			}
+			if int(s.owner[d]) == s.id {
+				s.deliverLocal(par, graph.VertexID(d), blob.PendVal[i], false)
+			}
+		}
+	}
+	return nil
+}
+
+// enqueue adds v to the parity-par worklist once.
+func (s *shardSession) enqueue(par int, v graph.VertexID) {
+	if !s.queued[par][v] {
+		s.queued[par][v] = true
+		s.work[par] = append(s.work[par], v)
+	}
+}
+
+// deliverLocal folds or appends one message for an owned vertex into
+// the parity-par inbox. countCombine controls whether a slot fold
+// increments the combined-before-send counter (true only for sends
+// originating on this shard).
+func (s *shardSession) deliverLocal(par int, dst graph.VertexID, val float64, countCombine bool) {
+	if s.comb != nil {
+		if s.inSet[par][dst] {
+			s.inVal[par][dst] = s.comb.Combine(s.inVal[par][dst], val)
+			if countCombine {
+				s.combined++
+			}
+		} else {
+			s.inSet[par][dst] = true
+			s.inVal[par][dst] = val
+			s.enqueue(par, dst)
+		}
+		return
+	}
+	if len(s.inMsgs[par][dst]) == 0 {
+		s.enqueue(par, dst)
+	}
+	s.inMsgs[par][dst] = append(s.inMsgs[par][dst], val)
+}
+
+// Graph implements engine.ContextHost.
+func (s *shardSession) Graph() *graph.Graph { return s.g }
+
+// Value implements engine.ContextHost.
+func (s *shardSession) Value(v graph.VertexID) float64 { return s.values[v] }
+
+// SetValue implements engine.ContextHost.
+func (s *shardSession) SetValue(v graph.VertexID, x float64) { s.values[v] = x }
+
+// VoteToHalt implements engine.ContextHost.
+func (s *shardSession) VoteToHalt(v graph.VertexID) { s.active[v] = false }
+
+// Send implements engine.ContextHost: local messages go straight into
+// the next-parity inbox; remote messages fold into the dense combining
+// slot for their destination (or the raw outbox under canonical mode).
+func (s *shardSession) Send(dst graph.VertexID, val float64) {
+	to := s.owner[dst]
+	np := (s.superstep + 1) & 1
+	if int(to) == s.id {
+		s.deliverLocal(np, dst, val, true)
+	} else {
+		if s.comb != nil {
+			if s.accSet[dst] {
+				s.accVal[dst] = s.comb.Combine(s.accVal[dst], val)
+				s.combined++
+			} else {
+				s.accSet[dst] = true
+				s.accVal[dst] = val
+				s.staged[to] = append(s.staged[to], dst)
+			}
+		} else {
+			s.outDst[to] = append(s.outDst[to], int32(dst))
+			s.outVal[to] = append(s.outVal[to], val)
+		}
+		s.remote++
+	}
+	s.sent++
+}
+
+// Aggregate implements engine.ContextHost, mirroring the engine's two
+// reduction modes: canonical keeps raw terms for the coordinator's
+// value-sorted fold, otherwise contributions fold locally and the
+// coordinator merges one partial per shard.
+func (s *shardSession) Aggregate(name string, val float64) {
+	spec, ok := s.aggSpec[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))
+	}
+	if s.canonical {
+		s.aggList[name] = append(s.aggList[name], val)
+		return
+	}
+	if s.aggSeen[name] {
+		s.aggLocal[name] = spec.Reduce(s.aggLocal[name], val)
+	} else {
+		s.aggSeen[name] = true
+		s.aggLocal[name] = val
+	}
+}
+
+// AggregatedValue implements engine.ContextHost.
+func (s *shardSession) AggregatedValue(name string) float64 {
+	v, ok := s.aggView[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))
+	}
+	return v
+}
+
+// setAggView overlays coordinator-reduced aggregator values.
+func (s *shardSession) setAggView(a aggPairs) {
+	for i, name := range a.Names {
+		if _, ok := s.aggSpec[name]; ok {
+			s.aggView[name] = a.Vals[i]
+		}
+	}
+}
+
+// step executes one superstep: compute the sorted owned worklist, ship
+// the staged remote slots as batches, vote at the barrier, drain
+// incoming batches until EndBatches, then report the next frontier.
+func (s *shardSession) step(p proceedMsg) error {
+	S := int(p.Superstep)
+	par, npar := S&1, (S+1)&1
+	s.superstep = S
+	s.setAggView(p.Aggs)
+	s.ctx.SetSuperstep(S)
+
+	work := s.work[par]
+	sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+	die := s.opts.DieAtSuperstep > 0 && S == s.opts.DieAtSuperstep
+	if die && len(work) == 0 {
+		s.conn.Close()
+		return fmt.Errorf("%w (shard %d, superstep %d)", ErrShardDied, s.id, S)
+	}
+	for i, v := range work {
+		if die && i >= (len(work)+1)/2 {
+			// Mid-superstep death: drop the connection with the worklist
+			// half-consumed and batches unsent — exactly what a spot
+			// eviction does to a worker process.
+			s.conn.Close()
+			return fmt.Errorf("%w (shard %d, superstep %d)", ErrShardDied, s.id, S)
+		}
+		s.queued[par][v] = false
+		msgs := s.consume(par, v)
+		s.active[v] = true // message receipt reactivates
+		s.prog.Compute(s.ctx, v, msgs)
+		s.calls++
+		if s.active[v] && !s.queued[npar][v] {
+			s.queued[npar][v] = true
+			s.work[npar] = append(s.work[npar], v)
+		}
+	}
+	s.work[par] = work[:0]
+
+	if s.opts.MuteAtSuperstep > 0 && S == s.opts.MuteAtSuperstep {
+		// Stop voting: hold the connection open but never send the
+		// barrier. The coordinator's watchdog must declare us dead.
+		for {
+			if _, _, _, err := readFrame(s.br); err != nil {
+				return fmt.Errorf("dist: shard %d muted at superstep %d: %w", s.id, S, err)
+			}
+		}
+	}
+
+	if err := s.flushBatches(S); err != nil {
+		return err
+	}
+	if err := s.sendBarrier(S); err != nil {
+		return err
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+
+	// Drain incoming batches for this superstep.
+	for {
+		typ, payload, _, err := readFrame(s.br)
+		if err != nil {
+			return fmt.Errorf("dist: shard %d awaiting batches: %w", s.id, err)
+		}
+		if typ == fBatch {
+			b, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			if err := s.ingestBatch(b); err != nil {
+				return err
+			}
+			continue
+		}
+		if typ == fEndBatches {
+			end, err := decodeEndBatches(payload)
+			if err != nil {
+				return err
+			}
+			if int(end.Superstep) != S {
+				return fmt.Errorf("dist: shard %d: end-of-batches for superstep %d during %d", s.id, end.Superstep, S)
+			}
+			break
+		}
+		return fmt.Errorf("dist: shard %d: unexpected frame type %d during superstep %d", s.id, typ, S)
+	}
+	if err := s.send(fInboxed, inboxedMsg{Superstep: uint32(S + 1), Frontier: uint64(len(s.work[npar]))}.encode()); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// consume returns v's inbox for this superstep and clears it. Under
+// canonical mode the message multiset is sorted ascending, so Compute
+// folds it independently of arrival order — the distributed half of
+// the engine's bit-identity guarantee.
+func (s *shardSession) consume(par int, v graph.VertexID) []float64 {
+	if s.comb != nil {
+		if s.inSet[par][v] {
+			s.inSet[par][v] = false
+			return s.inVal[par][v : v+1]
+		}
+		return nil
+	}
+	msgs := s.inMsgs[par][v]
+	s.inMsgs[par][v] = msgs[:0]
+	if s.canonical && len(msgs) > 1 {
+		sort.Float64s(msgs)
+	}
+	return msgs
+}
+
+// ingestBatch folds a remote batch into the inbox of the superstep
+// after the batch's tag.
+func (s *shardSession) ingestBatch(b batchMsg) error {
+	if int(b.To) != s.id {
+		return fmt.Errorf("dist: shard %d received batch for shard %d", s.id, b.To)
+	}
+	par := (int(b.Superstep) + 1) & 1
+	n := s.g.NumVertices()
+	for i, d := range b.Dst {
+		if d < 0 || int(d) >= n {
+			return fmt.Errorf("dist: batch names vertex %d of %d", d, n)
+		}
+		dst := graph.VertexID(d)
+		if int(s.owner[dst]) != s.id {
+			return fmt.Errorf("dist: batch delivers vertex %d owned by shard %d to shard %d", d, s.owner[dst], s.id)
+		}
+		s.deliverLocal(par, dst, b.Val[i], false)
+	}
+	return nil
+}
+
+// flushBatches serialises this superstep's staged remote sends, one
+// destination shard at a time. On the combiner path each touched slot
+// ships exactly once (dense fold already applied); on the raw path
+// every message term ships individually for the destination's
+// canonical sort.
+func (s *shardSession) flushBatches(S int) error {
+	for to := 0; to < s.shards; to++ {
+		if to == s.id {
+			continue
+		}
+		var dsts []int32
+		var vals []float64
+		if s.comb != nil {
+			stagedTo := s.staged[to]
+			if len(stagedTo) == 0 {
+				continue
+			}
+			dsts = make([]int32, len(stagedTo))
+			vals = make([]float64, len(stagedTo))
+			for i, v := range stagedTo {
+				dsts[i] = int32(v)
+				vals[i] = s.accVal[v]
+				s.accSet[v] = false
+			}
+			s.staged[to] = stagedTo[:0]
+		} else {
+			if len(s.outDst[to]) == 0 {
+				continue
+			}
+			dsts, vals = s.outDst[to], s.outVal[to]
+			s.outDst[to] = nil
+			s.outVal[to] = nil
+		}
+		for off := 0; off < len(dsts); off += batchChunk {
+			end := off + batchChunk
+			if end > len(dsts) {
+				end = len(dsts)
+			}
+			m := batchMsg{
+				Superstep: uint32(S),
+				From:      uint32(s.id),
+				To:        uint32(to),
+				Dst:       dsts[off:end],
+				Val:       vals[off:end],
+			}
+			if err := s.send(fBatch, m.encode()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sendBarrier votes compute-done with this step's counters and
+// aggregator contributions, then resets the per-step counters.
+func (s *shardSession) sendBarrier(S int) error {
+	m := barrierMsg{
+		Superstep: uint32(S),
+		Sent:      uint64(s.sent),
+		Calls:     uint64(s.calls),
+		Combined:  uint64(s.combined),
+		Remote:    uint64(s.remote),
+	}
+	for _, name := range s.aggNames {
+		if s.canonical {
+			if lst := s.aggList[name]; len(lst) > 0 {
+				m.AggNames = append(m.AggNames, name)
+				m.Contribs = append(m.Contribs, lst)
+				s.aggList[name] = nil
+			}
+		} else if s.aggSeen[name] {
+			m.AggNames = append(m.AggNames, name)
+			m.Contribs = append(m.Contribs, []float64{s.aggLocal[name]})
+			delete(s.aggSeen, name)
+		}
+	}
+	s.sent, s.calls, s.combined, s.remote = 0, 0, 0, 0
+	return s.send(fBarrier, m.encode())
+}
+
+// checkpoint writes this shard's blob for a resume into req.Superstep:
+// owned values and activity plus the pending inbox of that superstep's
+// parity buffer (delivered but unconsumed — the same snapshot boundary
+// engine checkpoints use).
+func (s *shardSession) checkpoint(req checkpointMsg) error {
+	par := int(req.Superstep) & 1
+	blob := &shardBlob{Superstep: int(req.Superstep), Shard: s.id}
+	blob.Vertex = make([]int32, len(s.owned))
+	blob.Value = make([]float64, len(s.owned))
+	blob.Active = make([]bool, len(s.owned))
+	for i, v := range s.owned {
+		blob.Vertex[i] = int32(v)
+		blob.Value[i] = s.values[v]
+		blob.Active[i] = s.active[v]
+		if s.comb != nil {
+			if s.inSet[par][v] {
+				blob.PendDst = append(blob.PendDst, int32(v))
+				blob.PendVal = append(blob.PendVal, s.inVal[par][v])
+			}
+		} else {
+			for _, val := range s.inMsgs[par][v] {
+				blob.PendDst = append(blob.PendDst, int32(v))
+				blob.PendVal = append(blob.PendVal, val)
+			}
+		}
+	}
+	data := blob.encode()
+	ack := checkpointAckMsg{Superstep: req.Superstep, Bytes: uint64(len(data))}
+	if _, err := s.opts.Store.Put(req.Key, data); err != nil {
+		ack.Err = err.Error()
+		s.opts.logf("dist: shard %d checkpoint %q failed: %v", s.id, req.Key, err)
+	}
+	if err := s.send(fCheckpointAck, ack.encode()); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// sendValues reports the owned final values and ends the session.
+func (s *shardSession) sendValues() error {
+	m := valuesMsg{
+		Vertex: make([]int32, len(s.owned)),
+		Val:    make([]float64, len(s.owned)),
+	}
+	for i, v := range s.owned {
+		m.Vertex[i] = int32(v)
+		m.Val[i] = s.values[v]
+	}
+	if err := s.send(fValues, m.encode()); err != nil {
+		return err
+	}
+	return s.flush()
+}

@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hourglass/internal/engine"
+	"hourglass/internal/graph"
+)
+
+// ProgramSpec names a bundled vertex program in a form that survives
+// the wire: the coordinator and every shard instantiate their own copy
+// from the same spec, so program state never has to be serialised.
+//
+// Programs with engine.AuxState (GraphColoring) are rejected: their
+// per-vertex auxiliary state is whole-graph and cannot yet be split
+// into per-shard checkpoint blobs. See DESIGN.md.
+type ProgramSpec struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations,omitempty"` // pagerank
+	Damping    float64 `json:"damping,omitempty"`    // pagerank
+	Source     int64   `json:"source,omitempty"`     // sssp, bfs
+}
+
+// New instantiates the named program.
+func (s ProgramSpec) New() (engine.Program, error) {
+	var p engine.Program
+	switch s.Name {
+	case "pagerank":
+		it := s.Iterations
+		if it <= 0 {
+			it = 10
+		}
+		p = &engine.PageRank{Iterations: it, Damping: s.Damping}
+	case "sssp":
+		p = &engine.SSSP{Source: graph.VertexID(s.Source)}
+	case "wcc":
+		p = engine.WCC{}
+	case "bfs":
+		p = &engine.BFS{Source: graph.VertexID(s.Source)}
+	default:
+		return nil, fmt.Errorf("dist: unknown program %q", s.Name)
+	}
+	if _, ok := p.(engine.AuxState); ok {
+		return nil, fmt.Errorf("dist: program %q carries aux state, unsupported in distributed mode", s.Name)
+	}
+	return p, nil
+}
+
+// GraphSpec describes a deterministic RMAT input: the same spec builds
+// the same graph on every process, so the topology never crosses the
+// wire (the paper's workers likewise load their partitions from shared
+// storage, not from the master).
+type GraphSpec struct {
+	Scale      int   `json:"scale"`
+	Seed       int64 `json:"seed"`
+	EdgeFactor int   `json:"edge_factor,omitempty"` // 0 = 16 (Graph500)
+	Undirected bool  `json:"undirected,omitempty"`
+	Weighted   bool  `json:"weighted,omitempty"`
+}
+
+// Build materialises the graph.
+func (s GraphSpec) Build() (*graph.Graph, error) {
+	if s.Scale <= 0 || s.Scale > 30 {
+		return nil, fmt.Errorf("dist: graph scale %d out of range", s.Scale)
+	}
+	p := graph.DefaultRMAT(s.Scale, s.Seed)
+	if s.EdgeFactor > 0 {
+		p.EdgeFactor = s.EdgeFactor
+	}
+	p.Undirected = s.Undirected
+	p.Weighted = s.Weighted
+	return graph.RMAT(p), nil
+}
+
+// marshalSpec / unmarshal helpers keep the JSON encoding in one place.
+func marshalSpec(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("dist: encoding spec: %w", err)
+	}
+	return string(b), nil
+}
+
+func unmarshalProgramSpec(s string) (ProgramSpec, error) {
+	var p ProgramSpec
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return p, fmt.Errorf("dist: decoding program spec: %w", err)
+	}
+	return p, nil
+}
+
+func unmarshalGraphSpec(s string) (GraphSpec, error) {
+	var g GraphSpec
+	if err := json.Unmarshal([]byte(s), &g); err != nil {
+		return g, fmt.Errorf("dist: decoding graph spec: %w", err)
+	}
+	return g, nil
+}

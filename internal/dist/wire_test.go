@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestFrameRoundTrip drives every message type through its encoder,
+// the frame layer and back.
+func TestFrameRoundTrip(t *testing.T) {
+	welcome := welcomeMsg{
+		Version:   wireVersion,
+		Shard:     2,
+		Shards:    4,
+		Canonical: true,
+		Start:     6,
+		Program:   `{"name":"pagerank","iterations":10}`,
+		Graph:     `{"scale":8,"seed":7}`,
+		Assign:    []int32{0, 1, 2, 3, 0, 1},
+		Aggs:      aggPairs{Names: []string{"dangling"}, Vals: []float64{0.25}},
+		BlobKeys:  []string{"dist/j/ckpt/00000006/shard-000", "dist/j/ckpt/00000006/shard-001"},
+	}
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, fWelcome, welcome.encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, size, err := readFrame(&buf)
+	if err != nil || typ != fWelcome {
+		t.Fatalf("readFrame: type %d err %v", typ, err)
+	}
+	if size != frameHeaderLen+len(welcome.encode()) {
+		t.Errorf("size %d, want %d", size, frameHeaderLen+len(welcome.encode()))
+	}
+	got, err := decodeWelcome(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != 2 || got.Shards != 4 || !got.Canonical || got.Start != 6 ||
+		got.Program != welcome.Program || len(got.Assign) != 6 || len(got.BlobKeys) != 2 ||
+		got.Aggs.Names[0] != "dangling" || got.Aggs.Vals[0] != 0.25 {
+		t.Fatalf("welcome round trip mismatch: %+v", got)
+	}
+
+	batch := batchMsg{Superstep: 3, From: 1, To: 2, Dst: []int32{5, 9}, Val: []float64{0.5, math.Inf(1)}}
+	b, _, rest, err := func() (batchMsg, byte, []byte, error) {
+		frame := appendFrame(nil, fBatch, batch.encode())
+		typ, payload, rest, err := DecodeFrame(frame)
+		if err != nil {
+			return batchMsg{}, typ, rest, err
+		}
+		m, err := decodeBatch(payload)
+		return m, typ, rest, err
+	}()
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("batch decode: %v (rest %d)", err, len(rest))
+	}
+	if b.To != 2 || b.Dst[1] != 9 || !math.IsInf(b.Val[1], 1) {
+		t.Fatalf("batch round trip mismatch: %+v", b)
+	}
+
+	barrier := barrierMsg{Superstep: 3, Sent: 10, Calls: 7, Combined: 4, Remote: 6,
+		AggNames: []string{"a", "b"}, Contribs: [][]float64{{1, 2}, {3}}}
+	bb, err := decodeBarrier(barrier.encode())
+	if err != nil || bb.Combined != 4 || len(bb.Contribs[0]) != 2 || bb.Contribs[1][0] != 3 {
+		t.Fatalf("barrier round trip: %+v err %v", bb, err)
+	}
+}
+
+// TestBatchToOffset pins the routing shortcut: the To field must live
+// at batchToOffset inside an encoded batch payload.
+func TestBatchToOffset(t *testing.T) {
+	m := batchMsg{Superstep: 9, From: 1, To: 0x0A0B0C0D, Dst: []int32{1}, Val: []float64{2}}
+	p := m.encode()
+	got := uint32(p[batchToOffset]) | uint32(p[batchToOffset+1])<<8 |
+		uint32(p[batchToOffset+2])<<16 | uint32(p[batchToOffset+3])<<24
+	if got != m.To {
+		t.Fatalf("To at offset %d = %#x, want %#x", batchToOffset, got, m.To)
+	}
+}
+
+// TestFrameCorruption checks the reader rejects (never misreads)
+// damaged frames.
+func TestFrameCorruption(t *testing.T) {
+	frame := appendFrame(nil, fProceed, proceedMsg{Superstep: 4}.encode())
+
+	for cut := 1; cut < len(frame); cut++ {
+		if _, _, _, err := DecodeFrame(frame[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x01
+		typ, payload, _, err := DecodeFrame(bad)
+		if err != nil {
+			continue
+		}
+		// A flipped bit may still frame correctly only if it kept the
+		// CRC valid — impossible for a single-bit flip, except flips in
+		// the length prefix that still describe a self-consistent frame;
+		// those must at least fail payload decoding.
+		if typ == fProceed {
+			if _, derr := decodeProceed(payload); derr == nil {
+				t.Fatalf("bit flip at %d yielded a decodable proceed frame", i)
+			}
+		}
+	}
+
+	huge := make([]byte, 8)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length prefix: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzDecodeFrame asserts the stream decoder never panics and never
+// over-reads: whatever the input, it either fails or consumes exactly
+// one well-formed frame. Message decoders run on every successfully
+// framed payload, so their bounds checks are in the loop too.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(appendFrame(nil, fHello, helloMsg{Version: wireVersion}.encode()))
+	f.Add(appendFrame(nil, fProceed, proceedMsg{Superstep: 3, Aggs: aggPairs{Names: []string{"x"}, Vals: []float64{1}}}.encode()))
+	f.Add(appendFrame(nil, fBatch, batchMsg{Superstep: 1, From: 0, To: 1, Dst: []int32{4}, Val: []float64{0.5}}.encode()))
+	f.Add(appendFrame(nil, fBarrier, barrierMsg{Superstep: 2, AggNames: []string{"a"}, Contribs: [][]float64{{1}}}.encode()))
+	f.Add(appendFrame(nil, fWelcome, welcomeMsg{Version: 1, Shards: 2, Assign: []int32{0, 1}}.encode()))
+	f.Add(appendFrame(nil, fValues, valuesMsg{Vertex: []int32{0}, Val: []float64{3}}.encode()))
+	f.Add(appendFrame(nil, fCheckpoint, checkpointMsg{Superstep: 2, Key: "dist/j/ckpt/00000002/shard-000"}.encode()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, rest, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if consumed := len(data) - len(rest); consumed < frameHeaderLen || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		// Every message decoder must be panic-free on arbitrary framed
+		// payloads and reject trailing garbage.
+		switch typ {
+		case fHello:
+			_, _ = decodeHello(payload)
+		case fWelcome:
+			_, _ = decodeWelcome(payload)
+		case fProceed:
+			_, _ = decodeProceed(payload)
+		case fBatch:
+			if m, err := decodeBatch(payload); err == nil && len(m.Dst) != len(m.Val) {
+				t.Fatal("batch decoded with mismatched lengths")
+			}
+		case fBarrier:
+			_, _ = decodeBarrier(payload)
+		case fEndBatches:
+			_, _ = decodeEndBatches(payload)
+		case fInboxed:
+			_, _ = decodeInboxed(payload)
+		case fCheckpoint:
+			_, _ = decodeCheckpoint(payload)
+		case fCheckpointAck:
+			_, _ = decodeCheckpointAck(payload)
+		case fValues:
+			if m, err := decodeValues(payload); err == nil && len(m.Vertex) != len(m.Val) {
+				t.Fatal("values decoded with mismatched lengths")
+			}
+		}
+	})
+}

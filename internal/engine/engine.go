@@ -61,21 +61,62 @@ type Message struct {
 // scoped to one worker and must not be retained across supersteps.
 type Context struct {
 	w         *worker
+	host      ContextHost
 	superstep int
 }
+
+// ContextHost is an external execution substrate driving Programs
+// through the Context API: the distributed shard workers
+// (internal/dist) run unmodified vertex programs by implementing this
+// interface. The in-process engine never sets it, so the single nil
+// check it costs on each Context method is branch-predicted away on
+// the hot path.
+type ContextHost interface {
+	Graph() *graph.Graph
+	Value(v graph.VertexID) float64
+	SetValue(v graph.VertexID, x float64)
+	Send(dst graph.VertexID, val float64)
+	VoteToHalt(v graph.VertexID)
+	Aggregate(name string, val float64)
+	AggregatedValue(name string) float64
+}
+
+// NewHostContext binds a Context to an external host. The caller
+// advances the superstep with SetSuperstep between barriers.
+func NewHostContext(h ContextHost) *Context { return &Context{host: h} }
+
+// SetSuperstep sets the superstep a host-backed Context reports
+// (hosts only; the in-process engine manages it internally).
+func (c *Context) SetSuperstep(s int) { c.superstep = s }
 
 // Superstep returns the current superstep number (0-based).
 func (c *Context) Superstep() int { return c.superstep }
 
 // Graph returns the input graph.
-func (c *Context) Graph() *graph.Graph { return c.w.run.g }
+func (c *Context) Graph() *graph.Graph {
+	if c.host != nil {
+		return c.host.Graph()
+	}
+	return c.w.run.g
+}
 
 // Value returns vertex v's current value.
-func (c *Context) Value(v graph.VertexID) float64 { return c.w.run.values[v] }
+func (c *Context) Value(v graph.VertexID) float64 {
+	if c.host != nil {
+		return c.host.Value(v)
+	}
+	return c.w.run.values[v]
+}
 
 // SetValue updates the value of a vertex owned by this worker. Programs
 // must only set values of the vertex currently being computed.
-func (c *Context) SetValue(v graph.VertexID, x float64) { c.w.run.values[v] = x }
+func (c *Context) SetValue(v graph.VertexID, x float64) {
+	if c.host != nil {
+		c.host.SetValue(v, x)
+		return
+	}
+	c.w.run.values[v] = x
+}
 
 // Send delivers a message to dst at the next superstep. With a
 // combiner the message is folded into the worker's dense slot for dst
@@ -84,6 +125,10 @@ func (c *Context) SetValue(v graph.VertexID, x float64) { c.w.run.values[v] = x 
 // (and the perfmodel calibration inputs derived from it) are
 // independent of the transport.
 func (c *Context) Send(dst graph.VertexID, val float64) {
+	if c.host != nil {
+		c.host.Send(dst, val)
+		return
+	}
 	w := c.w
 	r := w.run
 	ow := r.owner[dst]
@@ -107,17 +152,27 @@ func (c *Context) Send(dst graph.VertexID, val float64) {
 
 // SendToNeighbors broadcasts val to all out-neighbours of v.
 func (c *Context) SendToNeighbors(v graph.VertexID, val float64) {
-	for _, u := range c.w.run.g.Neighbors(v) {
+	for _, u := range c.Graph().Neighbors(v) {
 		c.Send(u, val)
 	}
 }
 
 // VoteToHalt deactivates v; an incoming message reactivates it.
-func (c *Context) VoteToHalt(v graph.VertexID) { c.w.run.active[v] = false }
+func (c *Context) VoteToHalt(v graph.VertexID) {
+	if c.host != nil {
+		c.host.VoteToHalt(v)
+		return
+	}
+	c.w.run.active[v] = false
+}
 
 // Aggregate contributes to a named aggregator; the reduced value is
 // visible through AggregatedValue in the *next* superstep.
 func (c *Context) Aggregate(name string, val float64) {
+	if c.host != nil {
+		c.host.Aggregate(name, val)
+		return
+	}
 	agg, ok := c.w.run.aggs[name]
 	if !ok {
 		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))
@@ -139,6 +194,9 @@ func (c *Context) Aggregate(name string, val float64) {
 // AggregatedValue returns the reduction of the previous superstep's
 // contributions (the aggregator's identity before any contribution).
 func (c *Context) AggregatedValue(name string) float64 {
+	if c.host != nil {
+		return c.host.AggregatedValue(name)
+	}
 	agg, ok := c.w.run.aggs[name]
 	if !ok {
 		panic(fmt.Sprintf("engine: unregistered aggregator %q", name))

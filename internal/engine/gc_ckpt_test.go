@@ -1,0 +1,74 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"hourglass/internal/engine"
+)
+
+// TestGraphColoringAuxCheckpointBound pauses a canonical 16-worker
+// Jones–Plassmann run at every barrier and measures the aux-state part
+// of each snapshot. GraphColoring is the only shipped program with
+// AuxState, and its aux blob is the wildcard in checkpoint pricing:
+// values and active flags are a fixed 9 bytes/vertex, but the
+// neighbor-color sets grow as the run progresses.
+//
+// The bound is structural, read off MarshalAux's layout (8-byte count,
+// 4 bytes per pending-higher counter, then per vertex a 4-byte length
+// plus 4 bytes per recorded color). A vertex can record at most one
+// color per neighbor, so:
+//
+//	aux <= 8 + 8·V + 4·A   (A = stored arcs, both directions)
+//
+// On the Graph500 default family (edge factor 16, undirected, so
+// A <= 32·V) that caps aux at 136 bytes/vertex — 17x the plain float64
+// value vector. DESIGN.md quotes these numbers; if the layout changes,
+// update both.
+func TestGraphColoringAuxCheckpointBound(t *testing.T) {
+	g := canonicalGraph(10, 7)
+	V := int64(g.NumVertices())
+	arcs := g.NumEdges()
+	structural := 8 + 8*V + 4*arcs
+
+	cfg := engine.Config{Workers: 16, Canonical: true, StopAfter: 1}
+	prog := &engine.GraphColoring{}
+	res, err := engine.Run(g, prog, cfg)
+	var maxAux, maxTotal int64
+	barriers := 0
+	for errors.Is(err, engine.ErrPaused) {
+		snap := res.Snapshot
+		if snap == nil {
+			t.Fatal("paused without a snapshot")
+		}
+		barriers++
+		aux := int64(len(snap.Aux))
+		if aux > structural {
+			t.Fatalf("superstep %d: aux %d bytes exceeds structural bound %d (= 8 + 8·%d + 4·%d)",
+				snap.Superstep, aux, structural, V, arcs)
+		}
+		if aux > maxAux {
+			maxAux = aux
+		}
+		if tot := snap.SizeBytes(); tot > maxTotal {
+			maxTotal = tot
+		}
+		res, err = engine.Resume(g, prog, snap, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barriers < 2 {
+		t.Fatalf("run paused at %d barriers, want at least 2 to see aux growth", barriers)
+	}
+
+	// The documented per-vertex factor for the default RMAT family:
+	// 17x the 8-byte value vector (136 bytes/vertex).
+	if factorCap := 17*8*V + 8; maxAux > factorCap {
+		t.Errorf("peak aux %d bytes (%.1f B/vertex) exceeds documented 136 B/vertex cap",
+			maxAux, float64(maxAux)/float64(V))
+	}
+	t.Logf("w=16 canonical coloring: %d barriers, peak aux %d bytes (%.1f B/vertex, structural cap %.1f), peak snapshot %d bytes (%.1f B/vertex)",
+		barriers, maxAux, float64(maxAux)/float64(V), float64(structural)/float64(V),
+		maxTotal, float64(maxTotal)/float64(V))
+}

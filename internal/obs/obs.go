@@ -57,6 +57,12 @@ type Event struct {
 	NsStep     int64 `json:"ns,omitempty"`          // wall nanoseconds for the step
 	ArenaBytes int64 `json:"arena_bytes,omitempty"` // pooled inbox arena footprint
 
+	// Distributed message-plane fields (EvSuperstep from a dist
+	// coordinator, EvShardEvict on shard loss).
+	Shard      int   `json:"shard,omitempty"`       // shard id (EvShardEvict)
+	WireFrames int64 `json:"wire_frames,omitempty"` // frames in+out this step
+	WireBytes  int64 `json:"wire_bytes,omitempty"`  // bytes in+out this step
+
 	// Retry fields (EvRetry).
 	Attempts int    `json:"attempts,omitempty"`
 	Err      string `json:"err,omitempty"`
@@ -75,6 +81,9 @@ const (
 	EvSuperstep  = "superstep"
 	EvRun        = "run"
 	EvRetry      = "retry"
+	// EvShardEvict marks a distributed shard worker declared dead by
+	// the coordinator (connection loss or barrier-vote timeout).
+	EvShardEvict = "shard_evict"
 )
 
 // Sink receives events. Implementations must be safe for concurrent

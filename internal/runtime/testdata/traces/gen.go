@@ -1,0 +1,57 @@
+//go:build ignore
+
+// Regenerates the checked-in r4-family spot-price traces:
+//
+//	go run internal/runtime/testdata/traces/gen.go
+//
+// The files mimic an AWS spot-price-history dump for us-east-1: sparse
+// "seconds,price" change points at 5-minute granularity, one file per
+// instance type, ten days long. They are synthesized offline with the
+// repo's own market model (OU log-price + Poisson demand spikes) so
+// the soak is deterministic and needs no network, but they flow into
+// the runtime through the same cloud.ReadTraceCSV path a real dump
+// would.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"hourglass/internal/cloud"
+)
+
+func main() {
+	dir := filepath.Join("internal", "runtime", "testdata", "traces")
+	for _, it := range cloud.Catalogue() {
+		tr := cloud.Generate(it, cloud.GenParams{Days: 10, Step: 300, Seed: 20160901})
+		path := filepath.Join(dir, it.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# instance=%s step=%g\n", it.Name, float64(tr.Step))
+		prev := ""
+		rows := 0
+		for i, p := range tr.Prices {
+			s := strconv.FormatFloat(p, 'f', 4, 64)
+			if s == prev {
+				continue
+			}
+			prev = s
+			fmt.Fprintf(w, "%d,%s\n", i*int(tr.Step), s)
+			rows++
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d change points over %.0f days\n", path, rows, 10.0)
+	}
+}

@@ -1,0 +1,206 @@
+package runtime_test
+
+// The price-trace soak: the chaos machinery from chaos_test.go driven
+// by the checked-in AWS-style r4-family spot traces under
+// testdata/traces/ instead of the per-seed synthetic market. The files
+// are sparse spot-price-history change points ingested through
+// cloud.ReadTraceCSV — the exact path a real us-east-1 dump takes —
+// so this suite proves the runtime survives a fixed, reviewable market
+// month, not just whatever the generator drew this run. Nightly runs
+// rotate -chaos-seed-base to sweep fresh start offsets and fault
+// schedules over the same trace.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hourglass"
+	"hourglass/internal/cloud"
+	"hourglass/internal/engine"
+	"hourglass/internal/faultinject"
+	"hourglass/internal/micro"
+	"hourglass/internal/partition"
+	"hourglass/internal/runtime"
+	"hourglass/internal/units"
+)
+
+// traceSoakSchedules is deliberately smaller than the synthetic sweep:
+// the market is fixed, so the axes left to sweep are start offset and
+// storage faults.
+const traceSoakSchedules = 12
+
+// loadCheckedInTraces reads the testdata trace set at 60 s resolution
+// (LOCF-resampled from the 5-minute change points).
+func loadCheckedInTraces(t testing.TB) cloud.TraceSet {
+	t.Helper()
+	set := cloud.TraceSet{}
+	for _, it := range cloud.Catalogue() {
+		f, err := os.Open(filepath.Join("testdata", "traces", it.Name+".csv"))
+		if err != nil {
+			t.Fatalf("checked-in trace: %v", err)
+		}
+		tr, err := cloud.ReadTraceCSV(f, it.Name, 60)
+		f.Close()
+		if err != nil {
+			t.Fatalf("parsing %s trace: %v", it.Name, err)
+		}
+		if tr.Duration() < 9*units.Day {
+			t.Fatalf("%s trace covers %v, want >= 9 days", it.Name, tr.Duration())
+		}
+		set[it.Name] = tr
+	}
+	return set
+}
+
+// The soak reuses the harness type from runtime_test.go but builds its
+// System over the checked-in market — live and historical both, so the
+// eviction model is fitted on the same weather it runs against.
+var (
+	soakOnce sync.Once
+	soakMap  map[string]*harness
+	soakErr  error
+)
+
+func buildSoakHarnesses(set cloud.TraceSet) (map[string]*harness, error) {
+	sys, err := hourglass.New(hourglass.Options{
+		Seed:             42,
+		LiveTraces:       set,
+		HistoricalTraces: set,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := undirectedRMAT(9, 7)
+	apps := []struct {
+		name  string
+		kind  hourglass.JobKind
+		fresh func() engine.Program
+	}{
+		{"pagerank", hourglass.PageRank, func() engine.Program { return &engine.PageRank{Iterations: 10} }},
+		{"sssp", hourglass.SSSP, func() engine.Program { return &engine.SSSP{Source: 0} }},
+		{"wcc", hourglass.GC, func() engine.Program { return &engine.WCC{} }},
+	}
+	out := map[string]*harness{}
+	var part *micro.Partitioning
+	for _, a := range apps {
+		env, err := sys.Env(a.kind)
+		if err != nil {
+			return nil, err
+		}
+		if part == nil {
+			counts := map[int]bool{}
+			var workerCounts []int
+			for i := range env.Stats {
+				if n := env.Stats[i].Config.Count; !counts[n] {
+					counts[n] = true
+					workerCounts = append(workerCounts, n)
+				}
+			}
+			part, err = micro.BuildForConfigs(g, partition.Hash{}, workerCounts, partition.Multilevel{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+		}
+		ref, err := engine.Run(g, a.fresh(), engine.Config{Workers: 4, Canonical: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s reference: %w", a.name, err)
+		}
+		relDl, err := sys.DeadlineFor(a.kind, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		hz, err := sys.Horizon(a.kind)
+		if err != nil {
+			return nil, err
+		}
+		out[a.name] = &harness{
+			kind: a.kind, sys: sys, env: env, g: g, part: part,
+			fresh: a.fresh, total: ref.Stats.Supersteps, ref: ref.Values,
+			relDl: relDl, horizon: hz,
+		}
+	}
+	return out, nil
+}
+
+func getSoakHarness(t *testing.T, app string) *harness {
+	t.Helper()
+	soakOnce.Do(func() { soakMap, soakErr = buildSoakHarnesses(loadCheckedInTraces(t)) })
+	if soakErr != nil {
+		t.Fatalf("soak harness: %v", soakErr)
+	}
+	h, ok := soakMap[app]
+	if !ok {
+		t.Fatalf("no soak harness for app %q", app)
+	}
+	return h
+}
+
+// TestTraceSoakMarketHasWeather guards the fixture itself: the
+// checked-in month must contain real eviction pressure (spot price
+// crossing the on-demand bid) for every instance type, or the soak
+// below degenerates into a calm-market test.
+func TestTraceSoakMarketHasWeather(t *testing.T) {
+	set := loadCheckedInTraces(t)
+	for _, it := range cloud.Catalogue() {
+		tr := set[it.Name]
+		if _, ok := tr.NextCrossing(0, float64(it.OnDemand)); !ok {
+			t.Errorf("%s: no spike above on-demand $%.3f in the checked-in trace", it.Name, it.OnDemand)
+		}
+		stats := cloud.ComputeMarketStats(it, tr)
+		if stats.MTTF <= 0 {
+			t.Errorf("%s: eviction MTTF not finite", it.Name)
+		}
+	}
+}
+
+// TestTraceSoakEvictionSchedules replays the chaos sweep against the
+// checked-in market: seeded start offsets across the ten-day trace,
+// storage faults on the checkpoint store, and bit-identical final
+// values (or a self-consistent deadline miss) demanded every time.
+func TestTraceSoakEvictionSchedules(t *testing.T) {
+	apps := []string{"pagerank", "sssp", "wcc"}
+	var totalEvictions, totalCheckpoints int
+
+	for i := 0; i < traceSoakSchedules; i++ {
+		seed := *chaosSeedBase + int64(9000+i)
+		app := apps[i%len(apps)]
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, app), func(t *testing.T) {
+			h := getSoakHarness(t, app)
+			store := faultinject.Wrap(cloud.NewDatastore(), chaosPolicy(seed))
+
+			rng := rand.New(rand.NewSource(seed * 31))
+			span := float64(h.horizon - h.relDl)
+			if span < 0 {
+				span = 0
+			}
+			start := units.Seconds(rng.Float64() * span)
+			deadline := start + h.relDl
+
+			opts := h.options(t, store, fmt.Sprintf("tracesoak/%s/%d", app, seed), h.provisioner(t))
+			rep, err := runtime.Execute(context.Background(), opts, start, deadline)
+			if err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if !rep.Finished {
+				t.Fatal("run did not finish (last-resort fallback must always complete)")
+			}
+			assertBitIdentical(t, h.ref, rep.Values)
+			if rep.MissedDeadline != (rep.Completion > deadline) {
+				t.Fatalf("miss flag inconsistent with accounting: missed=%v completion=%v deadline=%v",
+					rep.MissedDeadline, rep.Completion, deadline)
+			}
+			totalEvictions += rep.Evictions
+			totalCheckpoints += rep.Checkpoints
+		})
+	}
+	if totalCheckpoints == 0 {
+		t.Error("no durable checkpoints across the trace soak")
+	}
+	t.Logf("trace soak: %d evictions, %d checkpoints across %d schedules on the checked-in market",
+		totalEvictions, totalCheckpoints, traceSoakSchedules)
+}

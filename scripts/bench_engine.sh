@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Engine message-plane microbenchmark harness
-# (internal/engine BenchmarkEngineMessagePlane):
+# (internal/engine BenchmarkEngineMessagePlane plus its loopback-TCP
+# twin internal/dist BenchmarkEngineMessagePlaneDist — dist cases are
+# recorded under a "dist/" prefix; the ns/superstep gap between the
+# two is the price of the process split):
 #
 #   scripts/bench_engine.sh [output.json]   # regenerate BENCH_ENGINE.json
 #   scripts/bench_engine.sh --check [ref]   # regression gate vs committed numbers
@@ -27,23 +30,30 @@ benchtime="${BENCHTIME:-2s}"
 run_bench() {
   go test ./internal/engine/ -run NONE -bench BenchmarkEngineMessagePlane \
     -benchmem -benchtime "$benchtime"
+  go test ./internal/dist/ -run NONE -bench BenchmarkEngineMessagePlaneDist \
+    -benchmem -benchtime "$benchtime"
 }
 
-# parse_bench <raw>: one "case ns_per_op ns_per_superstep bytes allocs" row per line.
+# parse_bench <raw>: one
+# "case ns_per_op ns_per_superstep bytes allocs frames wirebytes"
+# row per line (frames/wirebytes are null for in-process cases).
 parse_bench() {
   awk '
-    /^BenchmarkEngineMessagePlane\// {
+    /^BenchmarkEngineMessagePlane(Dist)?\// {
       name = $1
+      sub(/^BenchmarkEngineMessagePlaneDist\//, "dist/", name)
       sub(/^BenchmarkEngineMessagePlane\//, "", name)
       sub(/-[0-9]+$/, "", name)
-      ns = bytes = allocs = step = "null"
+      ns = bytes = allocs = step = frames = wbytes = "null"
       for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")        ns = $(i - 1)
-        if ($i == "ns/superstep") step = $(i - 1)
-        if ($i == "B/op")         bytes = $(i - 1)
-        if ($i == "allocs/op")    allocs = $(i - 1)
+        if ($i == "ns/op")               ns = $(i - 1)
+        if ($i == "ns/superstep")        step = $(i - 1)
+        if ($i == "B/op")                bytes = $(i - 1)
+        if ($i == "allocs/op")           allocs = $(i - 1)
+        if ($i == "frames/superstep")    frames = $(i - 1)
+        if ($i == "wirebytes/superstep") wbytes = $(i - 1)
       }
-      print name, ns, step, bytes, allocs
+      print name, ns, step, bytes, allocs, frames, wbytes
     }
   ' <<<"$1"
 }
@@ -117,7 +127,7 @@ echo "$raw" >&2
 
 {
   printf '{\n'
-  printf '  "benchmark": "BenchmarkEngineMessagePlane",\n'
+  printf '  "benchmark": "BenchmarkEngineMessagePlane + BenchmarkEngineMessagePlaneDist",\n'
   printf '  "benchtime": "%s",\n' "$benchtime"
   awk '
     $1 == "goos:"   { printf("  \"goos\": \"%s\",\n", $2) }
@@ -149,7 +159,9 @@ BASELINE
   parse_bench "$raw" | awk '
     {
       if (n++) printf(",\n")
-      printf("    {\"case\": \"%s\", \"ns_per_op\": %s, \"ns_per_superstep\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3, $4, $5)
+      printf("    {\"case\": \"%s\", \"ns_per_op\": %s, \"ns_per_superstep\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", $1, $2, $3, $4, $5)
+      if ($6 != "null") printf(", \"frames_per_superstep\": %s, \"wirebytes_per_superstep\": %s", $6, $7)
+      printf("}")
     }
     END { printf("\n") }
   '
