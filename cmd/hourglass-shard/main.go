@@ -38,12 +38,15 @@ func main() {
 	coordinator := flag.String("coordinator", "localhost:9090", "coordinator address (listen address with -coordinate)")
 	storeDir := flag.String("store", "", "checkpoint blob directory (shared by coordinator and workers)")
 	once := flag.Bool("once", false, "worker: serve one session and exit instead of reconnecting")
+	peerListen := flag.String("peer", "", "worker: peer-mesh listen address (default 127.0.0.1:0)")
+	peerAdvertise := flag.String("peer-advertise", "", "worker: peer-mesh address announced to the coordinator (default the bound -peer address)")
 	dieAt := flag.Int("die-at", 0, "worker fault injection: drop the connection mid-superstep N (0 = never)")
 	muteAt := flag.Int("mute-at", 0, "worker fault injection: stop voting at superstep N (0 = never)")
+	dropPeersAt := flag.Int("drop-peers-at", 0, "worker fault injection: sever the peer-mesh connections mid-superstep N (0 = never)")
 
 	coordinate := flag.Bool("coordinate", false, "run as the coordinator instead of a worker")
 	shards := flag.Int("shards", 2, "coordinator: shard workers to accept")
-	program := flag.String("program", "pagerank", "coordinator: vertex program (pagerank, sssp, wcc, bfs)")
+	program := flag.String("program", "pagerank", "coordinator: vertex program (pagerank, sssp, wcc, bfs, graphcoloring)")
 	iterations := flag.Int("iterations", 10, "coordinator: pagerank iterations")
 	source := flag.Int64("source", 0, "coordinator: sssp/bfs source vertex")
 	scale := flag.Int("scale", 10, "coordinator: RMAT graph scale (2^scale vertices)")
@@ -108,10 +111,13 @@ func main() {
 	}
 
 	opts := dist.ShardOptions{
-		Store:           store,
-		DieAtSuperstep:  *dieAt,
-		MuteAtSuperstep: *muteAt,
-		Logf:            log.Printf,
+		Store:                store,
+		PeerListen:           *peerListen,
+		PeerAdvertise:        *peerAdvertise,
+		DieAtSuperstep:       *dieAt,
+		MuteAtSuperstep:      *muteAt,
+		DropPeersAtSuperstep: *dropPeersAt,
+		Logf:                 log.Printf,
 	}
 	if *once {
 		if err := dist.Dial(*coordinator, opts); err != nil {

@@ -10,10 +10,11 @@ import (
 // BenchmarkEngineMessagePlaneDist is the loopback-TCP twin of
 // internal/engine's BenchmarkEngineMessagePlane: the same programs on
 // the same RMAT graph, but every superstep crosses the wire message
-// plane (frames, CRCs, coordinator routing) between in-process shards
-// on loopback TCP. The ns/superstep gap between the two benchmarks is
-// the price of the process split. Numbers feed BENCH_ENGINE.json
-// (scripts/bench_engine.sh).
+// plane (frames, CRCs, peer-mesh batch delivery) between in-process
+// shards on loopback TCP. The ns/superstep gap between the two
+// benchmarks is the price of the process split; the shards=2/4/8
+// spread shows how the mesh scales with fan-out. Numbers feed
+// BENCH_ENGINE.json (scripts/bench_engine.sh).
 func BenchmarkEngineMessagePlaneDist(b *testing.B) {
 	gspec := GraphSpec{Scale: 12, Seed: 42, Undirected: true, Weighted: true}
 	cases := []struct {
@@ -22,9 +23,10 @@ func BenchmarkEngineMessagePlaneDist(b *testing.B) {
 	}{
 		{ProgramSpec{Name: "pagerank", Iterations: 10}, true},
 		{ProgramSpec{Name: "sssp", Source: 0}, false},
+		{ProgramSpec{Name: "wcc"}, false},
 	}
 	for _, tc := range cases {
-		for _, shards := range []int{2, 4} {
+		for _, shards := range []int{2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/shards=%d", tc.pspec.Name, shards), func(b *testing.B) {
 				b.ReportAllocs()
 				var supersteps, frames, bytes int64

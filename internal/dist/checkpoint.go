@@ -85,8 +85,10 @@ func shardBlobKey(job string, superstep, shard int) string {
 }
 
 // shardBlob is one shard's checkpointed partition state: the values
-// and activity of its owned vertices plus the pending inbox of the
-// superstep the blob resumes into.
+// and activity of its owned vertices, the pending inbox of the
+// superstep the blob resumes into, and — for engine.VertexAux
+// programs — each owned vertex's auxiliary state so a resume (possibly
+// under a different shard count) overlays them onto a fresh InitAux.
 type shardBlob struct {
 	Superstep int
 	Shard     int
@@ -95,6 +97,8 @@ type shardBlob struct {
 	Active    []bool
 	PendDst   []int32
 	PendVal   []float64
+	AuxVtx    []int32
+	Aux       [][]byte
 }
 
 func (b *shardBlob) encode() []byte {
@@ -111,6 +115,12 @@ func (b *shardBlob) encode() []byte {
 	for i, d := range b.PendDst {
 		w.u32(uint32(d))
 		w.f64(b.PendVal[i])
+	}
+	w.u32(uint32(len(b.AuxVtx)))
+	for i, v := range b.AuxVtx {
+		w.u32(uint32(v))
+		w.u32(uint32(len(b.Aux[i])))
+		w.b = append(w.b, b.Aux[i]...)
 	}
 	return seal(w.b)
 }
@@ -143,6 +153,24 @@ func decodeShardBlob(blob []byte) (*shardBlob, error) {
 	for i := uint32(0); i < np && r.err == nil; i++ {
 		b.PendDst = append(b.PendDst, int32(r.u32()))
 		b.PendVal = append(b.PendVal, r.f64())
+	}
+	na := r.u32()
+	if r.err != nil || int(na) > r.remaining()/8+1 {
+		return nil, fmt.Errorf("%w: aux count", ErrCorruptObject)
+	}
+	if na > 0 {
+		b.AuxVtx = make([]int32, 0, na)
+		b.Aux = make([][]byte, 0, na)
+	}
+	for i := uint32(0); i < na && r.err == nil; i++ {
+		vtx := int32(r.u32())
+		bl := r.u32()
+		if r.err != nil || int(bl) > r.remaining() {
+			return nil, fmt.Errorf("%w: aux blob length", ErrCorruptObject)
+		}
+		b.AuxVtx = append(b.AuxVtx, vtx)
+		b.Aux = append(b.Aux, append([]byte(nil), r.b[r.off:r.off+int(bl)]...))
+		r.off += int(bl)
 	}
 	if err := r.finish(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptObject, err)

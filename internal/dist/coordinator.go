@@ -2,7 +2,6 @@ package dist
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -57,10 +56,18 @@ func (c Config) logf(format string, args ...any) {
 type Report struct {
 	Values []float64
 	Stats  engine.Stats
-	// WireFrames / WireBytes count coordinator-side traffic, both
-	// directions, session total.
+	// WireFrames / WireBytes count the session's total wire traffic,
+	// both directions: coordinator control frames plus the peer-mesh
+	// data plane (shards report their peer-plane counters with every
+	// inboxed vote).
 	WireFrames int64
 	WireBytes  int64
+	// CoordBatchFrames counts batch frames that arrived on the
+	// coordinator's connections. The mesh plane routes batches
+	// shard-to-shard, so this is always 0 on a healthy session — a
+	// batch here is a protocol violation and the identity tests assert
+	// the zero.
+	CoordBatchFrames int64
 	// Checkpoints completed during the session.
 	Checkpoints int
 	// Resumed reports whether the session started from a checkpoint,
@@ -86,10 +93,10 @@ func (e *ShardLostError) Error() string {
 func (e *ShardLostError) Unwrap() error { return e.Cause }
 
 // frameQueue is an unbounded FIFO of encoded frames feeding one
-// shard's writer goroutine. Unbounded on purpose: the coordinator's
-// reader goroutines route batches into destination queues, and a
-// bounded queue would let one slow TCP receiver backpressure a reader
-// into deadlock across the barrier.
+// writer goroutine (a coordinator-side shard connection, or a shard's
+// outbound peer link). Unbounded on purpose: a bounded queue would let
+// one slow TCP receiver backpressure the producer into deadlock across
+// the barrier.
 type frameQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -169,6 +176,7 @@ type session struct {
 
 	wireFrames atomic.Int64
 	wireBytes  atomic.Int64
+	coordBatch atomic.Int64
 
 	superstep int
 	report    Report
@@ -278,9 +286,10 @@ func (s *session) viewPairs() aggPairs {
 	return a
 }
 
-// reader pumps one shard's connection: batches are routed straight to
-// their destination shard's write queue (using the fixed To offset, no
-// full decode); everything else goes to the main loop.
+// reader pumps one shard's connection to the main loop. The data plane
+// is the peer mesh: a batch frame on a coordinator connection is a
+// protocol violation (counted in Report.CoordBatchFrames, asserted zero
+// by the identity tests) and costs the sender its session.
 func (s *session) reader(shard int) {
 	defer s.wg.Done()
 	br := bufio.NewReaderSize(s.conns[shard], 1<<16)
@@ -292,20 +301,12 @@ func (s *session) reader(shard int) {
 		}
 		s.wireFrames.Add(1)
 		s.wireBytes.Add(int64(size))
-		if typ != fBatch {
-			s.post(shardEvent{shard: shard, typ: typ, payload: payload})
-			continue
-		}
-		if len(payload) < batchToOffset+4 {
-			s.post(shardEvent{shard: shard, err: fmt.Errorf("%w: short batch", ErrCorruptFrame)})
+		if typ == fBatch {
+			s.coordBatch.Add(1)
+			s.post(shardEvent{shard: shard, err: errors.New("dist: batch frame routed through coordinator (mesh protocol violation)")})
 			return
 		}
-		to := binary.LittleEndian.Uint32(payload[batchToOffset:])
-		if int(to) >= s.shards {
-			s.post(shardEvent{shard: shard, err: fmt.Errorf("dist: batch addressed to shard %d of %d", to, s.shards)})
-			return
-		}
-		s.queues[to].push(fBatch, payload)
+		s.post(shardEvent{shard: shard, typ: typ, payload: payload})
 	}
 }
 
@@ -443,11 +444,14 @@ func (s *session) run() (*Report, error) {
 		go s.writer(i)
 	}
 
-	// Handshake: Hello from everyone, then per-shard Welcomes.
+	// Handshake: Hello from everyone (each announcing its peer-plane
+	// listener), then per-shard Welcomes carrying the full peer list so
+	// the shards can wire the mesh among themselves.
 	hellos, err := s.gather(fHello, "hello", false)
 	if err != nil {
 		return nil, err
 	}
+	peers := make([]string, s.shards)
 	for i, p := range hellos {
 		h, derr := decodeHello(p)
 		if derr != nil {
@@ -456,6 +460,10 @@ func (s *session) run() (*Report, error) {
 		if h.Version != wireVersion {
 			return nil, s.lost(i, fmt.Errorf("dist: shard speaks wire version %d, coordinator speaks %d", h.Version, wireVersion))
 		}
+		if h.PeerAddr == "" {
+			return nil, s.lost(i, errors.New("dist: hello without a peer-plane address"))
+		}
+		peers[i] = h.PeerAddr
 	}
 	for i := 0; i < s.shards; i++ {
 		w := welcomeMsg{
@@ -469,6 +477,7 @@ func (s *session) run() (*Report, error) {
 			Assign:    s.assign,
 			Aggs:      s.viewPairs(),
 			BlobKeys:  blobKeys,
+			Peers:     peers,
 		}
 		s.queues[i].push(fWelcome, w.encode())
 	}
@@ -504,6 +513,9 @@ func (s *session) run() (*Report, error) {
 			if int(b.Superstep) != S {
 				return nil, s.lost(i, fmt.Errorf("dist: barrier for superstep %d during %d", b.Superstep, S))
 			}
+			if len(b.SentTo) != s.shards {
+				return nil, s.lost(i, fmt.Errorf("dist: barrier names %d peers for %d shards", len(b.SentTo), s.shards))
+			}
 			barriers[i] = b
 			stepSent += int64(b.Sent)
 			stepCalls += int64(b.Calls)
@@ -516,10 +528,19 @@ func (s *session) run() (*Report, error) {
 		s.report.Stats.RemoteMessages += stepRemote
 		s.report.Stats.Supersteps++
 
-		// All barriers in ⇒ every batch is queued behind its
-		// destination's EndBatches-to-come (readers enqueue a shard's
-		// batches before forwarding its barrier, queues are FIFO).
-		s.broadcast(fEndBatches, endBatchesMsg{Superstep: uint32(S)}.encode())
+		// All barriers in ⇒ every batch of superstep S has been handed
+		// to a peer link. Fold the votes' per-peer sent counts into one
+		// expected-arrival total per shard; each shard drains its mesh
+		// until that many batches have landed. Only S-tagged batches can
+		// be in flight: Proceed(S+1) is gated on every shard's Inboxed
+		// vote, which follows its completed drain.
+		for j := 0; j < s.shards; j++ {
+			var expect uint64
+			for i := range barriers {
+				expect += barriers[i].SentTo[j]
+			}
+			s.queues[j].push(fEndBatches, endBatchesMsg{Superstep: uint32(S), Expect: expect}.encode())
+		}
 
 		frontier, err = s.awaitFrontier(S + 1)
 		if err != nil {
@@ -580,12 +601,16 @@ func (s *session) run() (*Report, error) {
 	s.report.Values = values
 	s.report.WireFrames = s.wireFrames.Load()
 	s.report.WireBytes = s.wireBytes.Load()
+	s.report.CoordBatchFrames = s.coordBatch.Load()
 	rep := s.report
 	return &rep, nil
 }
 
 // awaitFrontier gathers Inboxed votes for a superstep and returns the
-// global frontier size.
+// global frontier size. The votes also carry each shard's peer-plane
+// wire counters since its previous vote, folded into the session
+// totals here so Report and the EvSuperstep deltas keep covering the
+// data plane now that batches bypass the coordinator.
 func (s *session) awaitFrontier(superstep int) (uint64, error) {
 	frames, err := s.gather(fInboxed, "inboxed vote", false)
 	if err != nil {
@@ -601,6 +626,8 @@ func (s *session) awaitFrontier(superstep int) (uint64, error) {
 			return 0, s.lost(i, fmt.Errorf("dist: inboxed vote for superstep %d during %d", m.Superstep, superstep))
 		}
 		frontier += m.Frontier
+		s.wireFrames.Add(int64(m.PeerFrames))
+		s.wireBytes.Add(int64(m.PeerBytes))
 	}
 	return frontier, nil
 }

@@ -84,6 +84,10 @@ func TestDistBitIdentity(t *testing.T) {
 		{ProgramSpec{Name: "sssp", Source: 0}, false},
 		{ProgramSpec{Name: "wcc"}, false},
 		{ProgramSpec{Name: "bfs", Source: 3}, false},
+		// GraphColoring exercises the engine.VertexAux path: per-vertex
+		// aux state initialised from the topology on every shard and its
+		// message folds order-invariant by construction.
+		{ProgramSpec{Name: "graphcoloring"}, false},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -130,6 +134,11 @@ func TestDistBitIdentity(t *testing.T) {
 				}
 				if rep.WireFrames <= 0 || rep.WireBytes <= 0 {
 					t.Errorf("%d shards: empty wire totals %d/%d", shards, rep.WireFrames, rep.WireBytes)
+				}
+				// The data plane is the peer mesh: not a single batch
+				// frame may ever reach the coordinator.
+				if rep.CoordBatchFrames != 0 {
+					t.Errorf("%d shards: %d batch frames routed through the coordinator, want 0", shards, rep.CoordBatchFrames)
 				}
 			}
 		})
@@ -192,6 +201,97 @@ func TestDistKillRecovery(t *testing.T) {
 	if rep.Checkpoints == 0 {
 		t.Error("resumed session wrote no further checkpoints")
 	}
+	if rep.CoordBatchFrames != 0 {
+		t.Errorf("%d batch frames routed through the coordinator, want 0", rep.CoordBatchFrames)
+	}
+}
+
+// TestDistPeerKillRecovery covers the mesh's own failure mode: the
+// peer-plane connections of one shard are severed halfway through a
+// superstep's worklist — mid-flush, with partial batches already on
+// the wire — while its coordinator connection stays up. The broken
+// data plane must surface as a ShardLostError (not a hang), and the
+// job must recover from the newest checkpoint bit-identically.
+func TestDistPeerKillRecovery(t *testing.T) {
+	pspec := ProgramSpec{Name: "pagerank", Iterations: 10}
+	ref := refRun(t, pspec, true)
+	if ref.Stats.Supersteps <= 6 {
+		t.Fatalf("reference run too short (%d supersteps) for a peer kill at superstep 5", ref.Stats.Supersteps)
+	}
+	sink := &captureSink{}
+	store := cloud.NewDatastore()
+	cfg := Config{
+		Job:             "pagerank-peerkill",
+		Program:         pspec,
+		Graph:           testGraph,
+		Canonical:       true,
+		CheckpointEvery: 2,
+		BarrierTimeout:  2 * time.Second,
+		Store:           store,
+		Sink:            sink,
+	}
+	rep, restarts, err := ExecuteWithRecovery(cfg, 4, 2, func(attempt, shard int) ShardOptions {
+		opts := ShardOptions{Store: store}
+		if attempt == 0 && shard == 1 {
+			opts.DropPeersAtSuperstep = 5
+		}
+		return opts
+	})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if restarts != 1 {
+		t.Fatalf("%d restarts, want exactly 1", restarts)
+	}
+	if !rep.Resumed || rep.StartSuperstep != 4 {
+		t.Fatalf("resumed=%v start=%d, want resume at superstep 4", rep.Resumed, rep.StartSuperstep)
+	}
+	assertBitIdentical(t, rep.Values, ref.Values, "post-peer-kill recovery")
+	if len(sink.byType(obs.EvShardEvict)) == 0 {
+		t.Error("no shard-evict event for the severed peer plane")
+	}
+	if rep.CoordBatchFrames != 0 {
+		t.Errorf("%d batch frames routed through the coordinator, want 0", rep.CoordBatchFrames)
+	}
+}
+
+// TestDistGraphColoringAuxRecovery checkpoints and resumes a program
+// whose per-vertex auxiliary state rides in the shard blobs
+// (engine.VertexAux), resuming under a *different* shard count so the
+// aux overlay is re-filtered by the new ownership.
+func TestDistGraphColoringAuxRecovery(t *testing.T) {
+	pspec := ProgramSpec{Name: "graphcoloring"}
+	ref := refRun(t, pspec, false)
+	if ref.Stats.Supersteps <= 3 {
+		t.Fatalf("reference run too short (%d supersteps) for a kill at superstep 2", ref.Stats.Supersteps)
+	}
+	store := cloud.NewDatastore()
+	cfg := Config{
+		Job:             "gc-reshard",
+		Program:         pspec,
+		Graph:           testGraph,
+		CheckpointEvery: 1,
+		Store:           store,
+	}
+	_, err := RunCluster(cfg, 4, func(i int) ShardOptions {
+		opts := ShardOptions{Store: store}
+		if i == 2 {
+			opts.DieAtSuperstep = 2
+		}
+		return opts
+	})
+	var lost *ShardLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("first session: %v, want ShardLostError", err)
+	}
+	rep, err := RunCluster(cfg, 3, nil)
+	if err != nil {
+		t.Fatalf("resume with 3 shards: %v", err)
+	}
+	if !rep.Resumed {
+		t.Fatal("session did not resume from a checkpoint")
+	}
+	assertBitIdentical(t, rep.Values, ref.Values, "graphcoloring resharded resume")
 }
 
 // TestDistResumeAcrossShardCounts kills a 4-shard session and resumes

@@ -38,10 +38,11 @@ func spawnShard(t *testing.T, bin, addr, storeDir string, dieAt int) *exec.Cmd {
 	return cmd
 }
 
-// TestDistProcess runs the coordinator against four real OS shard
+// TestDistProcess runs the coordinator against eight real OS shard
 // processes over loopback, for PageRank and SSSP, and demands
-// bit-identical values versus the single-process engine. This is the
-// CI integration target (runs under -race on the coordinator side).
+// bit-identical values versus the single-process engine. Eight
+// processes means a 56-link peer mesh — the widest fan-out the CI
+// integration step exercises (under -race on the coordinator side).
 func TestDistProcess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes and compiles a binary")
@@ -67,7 +68,7 @@ func TestDistProcess(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer ln.Close()
-			const shards = 4
+			const shards = 8
 			procs := make([]*exec.Cmd, shards)
 			for i := range procs {
 				procs[i] = spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
@@ -88,7 +89,10 @@ func TestDistProcess(t *testing.T) {
 			if err != nil {
 				t.Fatalf("coordinator: %v", err)
 			}
-			assertBitIdentical(t, rep.Values, ref.Values, "4 shard processes")
+			assertBitIdentical(t, rep.Values, ref.Values, "8 shard processes")
+			if rep.CoordBatchFrames != 0 {
+				t.Errorf("%d batch frames routed through the coordinator, want 0", rep.CoordBatchFrames)
+			}
 		})
 	}
 }

@@ -13,16 +13,20 @@ import (
 	"hourglass/internal/graph"
 )
 
-// batchChunk caps the slot entries per Batch frame so one frame stays
-// small enough to pipeline (and far below MaxFrameBytes).
-const batchChunk = 32768
-
 // ShardOptions configure a shard worker.
 type ShardOptions struct {
 	// Store holds checkpoint blobs (required; a process shard uses a
 	// cloud.FSStore rooted at the directory shared with the
 	// coordinator).
 	Store cloud.BlobStore
+	// PeerListen is the listen address for the shard-to-shard data
+	// plane ("" = 127.0.0.1:0). The bound address is announced to the
+	// coordinator in the hello and redistributed to every peer.
+	PeerListen string
+	// PeerAdvertise overrides the announced peer address (for
+	// multi-machine deployments where the bind address is not the
+	// dialable one). "" announces the listener's own address.
+	PeerAdvertise string
 	// DieAtSuperstep, when > 0, abruptly drops the connection halfway
 	// through computing that superstep's worklist — the chaos hook that
 	// stands in for a spot eviction killing the process mid-superstep.
@@ -31,6 +35,13 @@ type ShardOptions struct {
 	// never sends the barrier vote, leaving the connection open. It
 	// exercises the coordinator's barrier watchdog.
 	MuteAtSuperstep int
+	// DropPeersAtSuperstep, when > 0, severs every peer-mesh
+	// connection halfway through that superstep's worklist — mid-flush,
+	// since staged slots ship as they fill — while keeping the
+	// coordinator connection. It exercises the dead-peer path: the
+	// broken data plane surfaces as a shard loss and the job recovers
+	// from the newest checkpoint.
+	DropPeersAtSuperstep int
 	// Logf receives diagnostics (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -45,8 +56,8 @@ func (o ShardOptions) logf(format string, args ...any) {
 }
 
 // RunShard serves one coordinator session on an established
-// connection: handshake, state build (fresh or checkpoint reload),
-// then the superstep protocol until halt or error.
+// connection: handshake, peer-mesh wiring, state build (fresh or
+// checkpoint reload), then the superstep protocol until halt or error.
 func RunShard(conn net.Conn, opts ShardOptions) error {
 	defer conn.Close()
 	if opts.Store == nil {
@@ -101,8 +112,18 @@ func Serve(addr string, opts ShardOptions) error {
 				// recovery attempt) must be allowed to finish.
 				opts.DieAtSuperstep = 0
 			}
+			opts.DropPeersAtSuperstep = 0
 		}
 	}
+}
+
+// coordFrame is one frame (or terminal error) off the coordinator
+// connection, pumped by a reader goroutine so the session can wait on
+// the coordinator and the peer mesh at once.
+type coordFrame struct {
+	typ     byte
+	payload []byte
+	err     error
 }
 
 // shardSession is the state of one shard over one coordinator session.
@@ -113,13 +134,21 @@ func Serve(addr string, opts ShardOptions) error {
 // during superstep S is consumed at S+1 and lands in buffer (S+1)&1.
 // The parity index (rather than a single cur/next swap) makes batch
 // ingestion independent of where the shard is in its own step
-// lifecycle — a batch tagged S routed to a shard that has not yet
-// received Proceed(S+1) still lands in the right buffer.
+// lifecycle — a peer racing ahead mid-superstep delivers batches
+// tagged S into the right buffer while this shard is still computing
+// S itself. Arrival accounting (batches counted against the expected
+// total announced in EndBatches) is what tells the shard when the
+// superstep's inbox is complete, since no central router orders the
+// frames any more.
 type shardSession struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	opts ShardOptions
+
+	mesh    *peerMesh
+	coordIn chan coordFrame
+	done    chan struct{} // closed when run() returns; unblocks coordReader
 
 	id        int
 	shards    int
@@ -129,6 +158,7 @@ type shardSession struct {
 	prog  engine.Program
 	ctx   *engine.Context
 	comb  engine.Combiner
+	aux   engine.VertexAux // non-nil when the program carries per-vertex aux state
 	owner []int32
 	owned []graph.VertexID // this shard's vertices, ascending
 
@@ -145,11 +175,16 @@ type shardSession struct {
 	// Remote send staging. Combiner path: the PR 2 dense slots, with
 	// the touched destinations recorded per destination shard — the
 	// batching unit on the wire. Raw path: per-shard (dst, val) pairs.
+	// Either path ships to the owning peer as soon as a destination's
+	// staging reaches peerFlushThreshold, overlapping compute with the
+	// send; sentTo counts the shipped frames per peer for the barrier
+	// vote's delivery accounting.
 	accVal []float64
 	accSet []bool
 	staged [][]graph.VertexID
 	outDst [][]int32
 	outVal [][]float64
+	sentTo []uint64
 
 	aggNames []string // sorted; registered aggregator names
 	aggSpec  map[string]engine.AggregatorSpec
@@ -174,8 +209,36 @@ func (s *shardSession) send(typ byte, payload []byte) error {
 // flush pushes buffered frames onto the wire.
 func (s *shardSession) flush() error { return s.bw.Flush() }
 
+// sendInboxed reports the upcoming superstep's frontier plus the
+// peer-plane wire counters accumulated since the last report.
+func (s *shardSession) sendInboxed(superstep, frontier int) error {
+	pf, pb := s.mesh.counters()
+	m := inboxedMsg{
+		Superstep:  uint32(superstep),
+		Frontier:   uint64(frontier),
+		PeerFrames: pf,
+		PeerBytes:  pb,
+	}
+	if err := s.send(fInboxed, m.encode()); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
 func (s *shardSession) run() error {
-	if err := s.send(fHello, helloMsg{Version: wireVersion}.encode()); err != nil {
+	// The peer listener opens before the hello so the announced
+	// address is already accepting by the time any peer learns it.
+	mesh, err := newPeerMesh(s.opts.PeerListen)
+	if err != nil {
+		return err
+	}
+	s.mesh = mesh
+	defer mesh.close()
+	peerAddr := mesh.addr()
+	if s.opts.PeerAdvertise != "" {
+		peerAddr = s.opts.PeerAdvertise
+	}
+	if err := s.send(fHello, helloMsg{Version: wireVersion, PeerAddr: peerAddr}.encode()); err != nil {
 		return err
 	}
 	if err := s.flush(); err != nil {
@@ -198,29 +261,34 @@ func (s *shardSession) run() error {
 	if err := s.init(w); err != nil {
 		return err
 	}
+	if len(w.Peers) != s.shards {
+		return fmt.Errorf("dist: welcome names %d peers for %d shards", len(w.Peers), s.shards)
+	}
+	if err := mesh.connect(s.id, w.Peers); err != nil {
+		return err
+	}
 	start := int(w.Start)
-	if err := s.send(fInboxed, inboxedMsg{Superstep: uint32(start), Frontier: uint64(len(s.work[start&1]))}.encode()); err != nil {
+	if err := s.sendInboxed(start, len(s.work[start&1])); err != nil {
 		return err
 	}
-	if err := s.flush(); err != nil {
-		return err
-	}
+
+	s.coordIn = make(chan coordFrame, 4)
+	s.done = make(chan struct{})
+	defer close(s.done)
+	go s.coordReader()
 	for {
-		typ, payload, _, err := readFrame(s.br)
-		if err != nil {
-			return fmt.Errorf("dist: shard %d: %w", s.id, err)
+		// Between supersteps only the coordinator drives the session;
+		// peer batches for the next step wait in the mesh's arrival
+		// channel until that step's drain. A peer-plane error is
+		// likewise consulted only inside a superstep — after halt the
+		// mesh tearing down is the normal end of a session.
+		fr := <-s.coordIn
+		if fr.err != nil {
+			return fmt.Errorf("dist: shard %d: %w", s.id, fr.err)
 		}
-		switch typ {
-		case fBatch:
-			b, err := decodeBatch(payload)
-			if err != nil {
-				return err
-			}
-			if err := s.ingestBatch(b); err != nil {
-				return err
-			}
+		switch fr.typ {
 		case fCheckpoint:
-			req, err := decodeCheckpoint(payload)
+			req, err := decodeCheckpoint(fr.payload)
 			if err != nil {
 				return err
 			}
@@ -228,7 +296,7 @@ func (s *shardSession) run() error {
 				return err
 			}
 		case fProceed:
-			p, err := decodeProceed(payload)
+			p, err := decodeProceed(fr.payload)
 			if err != nil {
 				return err
 			}
@@ -239,7 +307,24 @@ func (s *shardSession) run() error {
 				return err
 			}
 		default:
-			return fmt.Errorf("dist: shard %d: unexpected frame type %d", s.id, typ)
+			return fmt.Errorf("dist: shard %d: unexpected frame type %d", s.id, fr.typ)
+		}
+	}
+}
+
+// coordReader pumps the coordinator connection into coordIn so the
+// session can select over it together with the peer mesh.
+func (s *shardSession) coordReader() {
+	for {
+		typ, payload, _, err := readFrame(s.br)
+		fr := coordFrame{typ: typ, payload: payload, err: err}
+		select {
+		case s.coordIn <- fr:
+		case <-s.done:
+			return
+		}
+		if err != nil {
+			return
 		}
 	}
 }
@@ -285,6 +370,17 @@ func (s *shardSession) init(w welcomeMsg) error {
 	if c, ok := s.prog.(engine.Combiner); ok && !s.canonical {
 		s.comb = c
 	}
+	if aux, ok := s.prog.(engine.AuxState); ok {
+		// Every shard initialises the whole-graph aux (it is derived
+		// from the topology alone); only owned vertices' entries are
+		// ever mutated or checkpointed here, per-vertex via VertexAux.
+		va, ok := s.prog.(engine.VertexAux)
+		if !ok {
+			return fmt.Errorf("dist: program %q carries aux state without per-vertex access", s.prog.Name())
+		}
+		aux.InitAux(s.g)
+		s.aux = va
+	}
 
 	s.values = make([]float64, n)
 	s.active = make([]bool, n)
@@ -305,6 +401,7 @@ func (s *shardSession) init(w welcomeMsg) error {
 		s.outDst = make([][]int32, s.shards)
 		s.outVal = make([][]float64, s.shards)
 	}
+	s.sentTo = make([]uint64, s.shards)
 
 	s.aggSpec = map[string]engine.AggregatorSpec{}
 	s.aggView = map[string]float64{}
@@ -376,6 +473,20 @@ func (s *shardSession) init(w welcomeMsg) error {
 				s.deliverLocal(par, graph.VertexID(d), blob.PendVal[i], false)
 			}
 		}
+		if len(blob.AuxVtx) > 0 && s.aux == nil {
+			return fmt.Errorf("dist: blob %q carries aux state for auxless program %q", key, s.prog.Name())
+		}
+		for i, vtx := range blob.AuxVtx {
+			if vtx < 0 || int(vtx) >= n {
+				return fmt.Errorf("dist: blob %q aux for vertex %d of %d", key, vtx, n)
+			}
+			if int(s.owner[vtx]) != s.id {
+				continue
+			}
+			if err := s.aux.UnmarshalVertexAux(graph.VertexID(vtx), blob.Aux[i]); err != nil {
+				return fmt.Errorf("dist: blob %q aux for vertex %d: %w", key, vtx, err)
+			}
+		}
 	}
 	return nil
 }
@@ -426,7 +537,13 @@ func (s *shardSession) VoteToHalt(v graph.VertexID) { s.active[v] = false }
 
 // Send implements engine.ContextHost: local messages go straight into
 // the next-parity inbox; remote messages fold into the dense combining
-// slot for their destination (or the raw outbox under canonical mode).
+// slot for their destination (or the raw outbox under canonical mode),
+// and ship to the owning peer as soon as the destination's staging
+// fills — compute and communication overlap instead of serialising.
+// A vertex whose slot already shipped simply opens a new slot; the
+// receiver folds the partials with the same Combine, so the split is
+// invisible (and under canonical mode raw terms are sorted at the
+// destination regardless of how they were chunked).
 func (s *shardSession) Send(dst graph.VertexID, val float64) {
 	to := s.owner[dst]
 	np := (s.superstep + 1) & 1
@@ -441,10 +558,16 @@ func (s *shardSession) Send(dst graph.VertexID, val float64) {
 				s.accSet[dst] = true
 				s.accVal[dst] = val
 				s.staged[to] = append(s.staged[to], dst)
+				if len(s.staged[to]) >= peerFlushThreshold {
+					s.shipCombined(int(to))
+				}
 			}
 		} else {
 			s.outDst[to] = append(s.outDst[to], int32(dst))
 			s.outVal[to] = append(s.outVal[to], val)
+			if len(s.outDst[to]) >= peerFlushThreshold {
+				s.shipRaw(int(to))
+			}
 		}
 		s.remote++
 	}
@@ -490,9 +613,70 @@ func (s *shardSession) setAggView(a aggPairs) {
 	}
 }
 
-// step executes one superstep: compute the sorted owned worklist, ship
-// the staged remote slots as batches, vote at the barrier, drain
-// incoming batches until EndBatches, then report the next frontier.
+// shipCombined serialises the staged combining slots for peer `to`
+// into one batch frame and hands it to the peer writer. The slots are
+// reset so staging continues immediately — the double buffer's
+// compute-side half.
+func (s *shardSession) shipCombined(to int) {
+	stagedTo := s.staged[to]
+	if len(stagedTo) == 0 {
+		return
+	}
+	dsts := make([]int32, len(stagedTo))
+	vals := make([]float64, len(stagedTo))
+	for i, v := range stagedTo {
+		dsts[i] = int32(v)
+		vals[i] = s.accVal[v]
+		s.accSet[v] = false
+	}
+	s.staged[to] = stagedTo[:0]
+	s.ship(to, dsts, vals)
+}
+
+// shipRaw serialises the staged raw message terms for peer `to`.
+func (s *shardSession) shipRaw(to int) {
+	if len(s.outDst[to]) == 0 {
+		return
+	}
+	dsts, vals := s.outDst[to], s.outVal[to]
+	s.ship(to, dsts, vals)
+	s.outDst[to] = dsts[:0]
+	s.outVal[to] = vals[:0]
+}
+
+// ship frames one batch for peer `to` and counts it for the barrier
+// vote's per-peer delivery accounting.
+func (s *shardSession) ship(to int, dsts []int32, vals []float64) {
+	m := batchMsg{
+		Superstep: uint32(s.superstep),
+		From:      uint32(s.id),
+		To:        uint32(to),
+		Dst:       dsts,
+		Val:       vals,
+	}
+	s.mesh.send(to, m.encode())
+	s.sentTo[to]++
+}
+
+// flushRemaining ships whatever is still staged for every peer — the
+// tail the threshold flushes did not cover.
+func (s *shardSession) flushRemaining() {
+	for to := 0; to < s.shards; to++ {
+		if to == s.id {
+			continue
+		}
+		if s.comb != nil {
+			s.shipCombined(to)
+		} else {
+			s.shipRaw(to)
+		}
+	}
+}
+
+// step executes one superstep: compute the sorted owned worklist with
+// staged slots shipping to peers as they fill, vote at the barrier
+// with per-peer batch counts, drain the peer mesh until the expected
+// arrivals for S are all in, then report the next frontier.
 func (s *shardSession) step(p proceedMsg) error {
 	S := int(p.Superstep)
 	par, npar := S&1, (S+1)&1
@@ -503,17 +687,27 @@ func (s *shardSession) step(p proceedMsg) error {
 	work := s.work[par]
 	sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
 	die := s.opts.DieAtSuperstep > 0 && S == s.opts.DieAtSuperstep
+	drop := s.opts.DropPeersAtSuperstep > 0 && S == s.opts.DropPeersAtSuperstep
 	if die && len(work) == 0 {
 		s.conn.Close()
 		return fmt.Errorf("%w (shard %d, superstep %d)", ErrShardDied, s.id, S)
 	}
 	for i, v := range work {
-		if die && i >= (len(work)+1)/2 {
-			// Mid-superstep death: drop the connection with the worklist
-			// half-consumed and batches unsent — exactly what a spot
-			// eviction does to a worker process.
-			s.conn.Close()
-			return fmt.Errorf("%w (shard %d, superstep %d)", ErrShardDied, s.id, S)
+		if i >= (len(work)+1)/2 {
+			if die {
+				// Mid-superstep death: drop the connection with the worklist
+				// half-consumed and batches partially shipped — exactly what
+				// a spot eviction does to a worker process.
+				s.conn.Close()
+				return fmt.Errorf("%w (shard %d, superstep %d)", ErrShardDied, s.id, S)
+			}
+			if drop {
+				// Mid-flush peer partition: the data plane dies under a
+				// live control connection. Subsequent ships fail on the
+				// writer goroutine and surface below.
+				drop = false
+				s.mesh.dropConns()
+			}
 		}
 		s.queued[par][v] = false
 		msgs := s.consume(par, v)
@@ -531,15 +725,18 @@ func (s *shardSession) step(p proceedMsg) error {
 		// Stop voting: hold the connection open but never send the
 		// barrier. The coordinator's watchdog must declare us dead.
 		for {
-			if _, _, _, err := readFrame(s.br); err != nil {
-				return fmt.Errorf("dist: shard %d muted at superstep %d: %w", s.id, S, err)
+			select {
+			case fr := <-s.coordIn:
+				if fr.err != nil {
+					return fmt.Errorf("dist: shard %d muted at superstep %d: %w", s.id, S, fr.err)
+				}
+			case <-s.mesh.in:
+			case <-s.mesh.errc:
 			}
 		}
 	}
 
-	if err := s.flushBatches(S); err != nil {
-		return err
-	}
+	s.flushRemaining()
 	if err := s.sendBarrier(S); err != nil {
 		return err
 	}
@@ -547,38 +744,48 @@ func (s *shardSession) step(p proceedMsg) error {
 		return err
 	}
 
-	// Drain incoming batches for this superstep.
-	for {
-		typ, payload, _, err := readFrame(s.br)
-		if err != nil {
-			return fmt.Errorf("dist: shard %d awaiting batches: %w", s.id, err)
-		}
-		if typ == fBatch {
-			b, err := decodeBatch(payload)
-			if err != nil {
-				return err
+	// Drain the peer mesh until the coordinator's EndBatches names the
+	// expected arrival count for S and that many batches have landed.
+	// Batches may well all arrive before the barrier fold completes —
+	// they flowed peer-to-peer while everyone was still computing.
+	var arrived, expect uint64
+	haveEnd := false
+	for !haveEnd || arrived < expect {
+		select {
+		case fr := <-s.coordIn:
+			if fr.err != nil {
+				return fmt.Errorf("dist: shard %d awaiting batches: %w", s.id, fr.err)
 			}
-			if err := s.ingestBatch(b); err != nil {
-				return err
+			if fr.typ != fEndBatches {
+				return fmt.Errorf("dist: shard %d: unexpected frame type %d during superstep %d", s.id, fr.typ, S)
 			}
-			continue
-		}
-		if typ == fEndBatches {
-			end, err := decodeEndBatches(payload)
+			end, err := decodeEndBatches(fr.payload)
 			if err != nil {
 				return err
 			}
 			if int(end.Superstep) != S {
 				return fmt.Errorf("dist: shard %d: end-of-batches for superstep %d during %d", s.id, end.Superstep, S)
 			}
-			break
+			expect, haveEnd = end.Expect, true
+			if arrived > expect {
+				return fmt.Errorf("dist: shard %d: %d batches for superstep %d, expected %d", s.id, arrived, S, expect)
+			}
+		case b := <-s.mesh.in:
+			if int(b.Superstep) != S {
+				return fmt.Errorf("dist: shard %d: batch for superstep %d during %d", s.id, b.Superstep, S)
+			}
+			if err := s.ingestBatch(b); err != nil {
+				return err
+			}
+			arrived++
+			if haveEnd && arrived > expect {
+				return fmt.Errorf("dist: shard %d: %d batches for superstep %d, expected %d", s.id, arrived, S, expect)
+			}
+		case err := <-s.mesh.errc:
+			return fmt.Errorf("dist: shard %d: peer plane failed during superstep %d: %w", s.id, S, err)
 		}
-		return fmt.Errorf("dist: shard %d: unexpected frame type %d during superstep %d", s.id, typ, S)
 	}
-	if err := s.send(fInboxed, inboxedMsg{Superstep: uint32(S + 1), Frontier: uint64(len(s.work[npar]))}.encode()); err != nil {
-		return err
-	}
-	return s.flush()
+	return s.sendInboxed(S+1, len(s.work[npar]))
 }
 
 // consume returns v's inbox for this superstep and clears it. Under
@@ -601,7 +808,7 @@ func (s *shardSession) consume(par int, v graph.VertexID) []float64 {
 	return msgs
 }
 
-// ingestBatch folds a remote batch into the inbox of the superstep
+// ingestBatch folds a peer batch into the inbox of the superstep
 // after the batch's tag.
 func (s *shardSession) ingestBatch(b batchMsg) error {
 	if int(b.To) != s.id {
@@ -622,61 +829,9 @@ func (s *shardSession) ingestBatch(b batchMsg) error {
 	return nil
 }
 
-// flushBatches serialises this superstep's staged remote sends, one
-// destination shard at a time. On the combiner path each touched slot
-// ships exactly once (dense fold already applied); on the raw path
-// every message term ships individually for the destination's
-// canonical sort.
-func (s *shardSession) flushBatches(S int) error {
-	for to := 0; to < s.shards; to++ {
-		if to == s.id {
-			continue
-		}
-		var dsts []int32
-		var vals []float64
-		if s.comb != nil {
-			stagedTo := s.staged[to]
-			if len(stagedTo) == 0 {
-				continue
-			}
-			dsts = make([]int32, len(stagedTo))
-			vals = make([]float64, len(stagedTo))
-			for i, v := range stagedTo {
-				dsts[i] = int32(v)
-				vals[i] = s.accVal[v]
-				s.accSet[v] = false
-			}
-			s.staged[to] = stagedTo[:0]
-		} else {
-			if len(s.outDst[to]) == 0 {
-				continue
-			}
-			dsts, vals = s.outDst[to], s.outVal[to]
-			s.outDst[to] = nil
-			s.outVal[to] = nil
-		}
-		for off := 0; off < len(dsts); off += batchChunk {
-			end := off + batchChunk
-			if end > len(dsts) {
-				end = len(dsts)
-			}
-			m := batchMsg{
-				Superstep: uint32(S),
-				From:      uint32(s.id),
-				To:        uint32(to),
-				Dst:       dsts[off:end],
-				Val:       vals[off:end],
-			}
-			if err := s.send(fBatch, m.encode()); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// sendBarrier votes compute-done with this step's counters and
-// aggregator contributions, then resets the per-step counters.
+// sendBarrier votes compute-done with this step's counters, per-peer
+// batch counts and aggregator contributions, then resets the per-step
+// counters.
 func (s *shardSession) sendBarrier(S int) error {
 	m := barrierMsg{
 		Superstep: uint32(S),
@@ -684,6 +839,7 @@ func (s *shardSession) sendBarrier(S int) error {
 		Calls:     uint64(s.calls),
 		Combined:  uint64(s.combined),
 		Remote:    uint64(s.remote),
+		SentTo:    s.sentTo,
 	}
 	for _, name := range s.aggNames {
 		if s.canonical {
@@ -698,14 +854,20 @@ func (s *shardSession) sendBarrier(S int) error {
 			delete(s.aggSeen, name)
 		}
 	}
+	err := s.send(fBarrier, m.encode())
 	s.sent, s.calls, s.combined, s.remote = 0, 0, 0, 0
-	return s.send(fBarrier, m.encode())
+	for i := range s.sentTo {
+		s.sentTo[i] = 0
+	}
+	return err
 }
 
 // checkpoint writes this shard's blob for a resume into req.Superstep:
-// owned values and activity plus the pending inbox of that superstep's
+// owned values and activity, the pending inbox of that superstep's
 // parity buffer (delivered but unconsumed — the same snapshot boundary
-// engine checkpoints use).
+// engine checkpoints use), and — for VertexAux programs — each owned
+// vertex's auxiliary state. Checkpoints run in the quiescent window
+// after every shard's frontier report, so no batch is in flight.
 func (s *shardSession) checkpoint(req checkpointMsg) error {
 	par := int(req.Superstep) & 1
 	blob := &shardBlob{Superstep: int(req.Superstep), Shard: s.id}
@@ -726,6 +888,14 @@ func (s *shardSession) checkpoint(req checkpointMsg) error {
 				blob.PendDst = append(blob.PendDst, int32(v))
 				blob.PendVal = append(blob.PendVal, val)
 			}
+		}
+	}
+	if s.aux != nil {
+		blob.AuxVtx = make([]int32, len(s.owned))
+		blob.Aux = make([][]byte, len(s.owned))
+		for i, v := range s.owned {
+			blob.AuxVtx[i] = int32(v)
+			blob.Aux[i] = s.aux.MarshalVertexAux(v)
 		}
 	}
 	data := blob.encode()

@@ -2,17 +2,25 @@
 // coordinator owns superstep barriers, canonical aggregator reduction
 // and checkpoint manifests, while N shard workers each own a
 // micro-partition of the vertex space and exchange superstep-tagged
-// message batches through the coordinator over a length-prefixed
-// binary frame protocol on TCP.
+// message batches directly over a shard-to-shard peer mesh, with the
+// same length-prefixed binary frame protocol on every TCP link.
 //
-// The wire message plane reuses the engine's sender-side combining
-// design (PR 2): a shard folds outgoing messages into dense
-// per-destination slots and serialises the touched slots per
-// destination shard as the batching unit, so a remote vertex receives
-// at most one staged value per sender per superstep. Under canonical
-// mode individual message terms are shipped instead and sorted at the
-// destination, making distributed results bit-identical to the
-// in-process engine's canonical runs regardless of shard count.
+// The data plane never touches the coordinator: every shard opens a
+// peer listener before its hello (the hello announces the address,
+// the welcome distributes the full list), dials each peer once at
+// cluster start, and streams batches straight to the owning shard.
+// Batches overlap with compute — the sender-side combining slots
+// (PR 2) flush to their peer as they fill during vertex compute, on a
+// per-peer writer goroutine, instead of serialising compute → flush →
+// barrier. Because no central router orders the frames, each barrier
+// vote carries per-peer sent-batch counts; the coordinator folds them
+// and tells every receiver in EndBatches exactly how many batches its
+// superstep must deliver before it may report its frontier.
+//
+// Under canonical mode individual message terms are shipped instead
+// of folded slots and sorted at the destination, making distributed
+// results bit-identical to the in-process engine's canonical runs
+// regardless of shard count, flush timing or peer arrival order.
 //
 // Eviction = killing a shard process. The coordinator declares the
 // shard dead (connection loss or barrier-vote timeout), emits an
@@ -34,7 +42,10 @@ import (
 
 // wireVersion gates the handshake: a coordinator and shard disagree
 // loudly at Hello/Welcome time instead of corrupting a run later.
-const wireVersion = 1
+// Version 2 is the peer-mesh plane: hello/welcome carry peer
+// addresses, barriers carry per-peer batch counts, EndBatches carries
+// the expected arrival count, and batches flow shard-to-shard.
+const wireVersion = 2
 
 // MaxFrameBytes bounds a single frame's payload. Batches are chunked
 // well below this (batchChunk); the bound exists so a corrupt length
@@ -48,16 +59,17 @@ const MaxFrameBytes = 64 << 20
 // with all integers little-endian and the CRC using the IEEE
 // polynomial (matching the engine's checkpoint trailers).
 const (
-	fHello         = 1  // shard → coordinator: version announcement
-	fWelcome       = 2  // coordinator → shard: identity, job spec, resume state
+	fHello         = 1  // shard → coordinator: version + peer listener address
+	fWelcome       = 2  // coordinator → shard: identity, job spec, peer list, resume state
 	fProceed       = 3  // coordinator → shard: run superstep S (or halt)
-	fBatch         = 4  // either direction: messages sent during S
-	fBarrier       = 5  // shard → coordinator: compute-done vote + stats + agg partials
-	fEndBatches    = 6  // coordinator → shard: no more batches for S
-	fInboxed       = 7  // shard → coordinator: delivery done, next frontier size
+	fBatch         = 4  // shard → shard (peer mesh): messages sent during S
+	fBarrier       = 5  // shard → coordinator: compute-done vote + stats + per-peer batch counts
+	fEndBatches    = 6  // coordinator → shard: all voted; expect this many batches for S
+	fInboxed       = 7  // shard → coordinator: delivery done, next frontier + peer wire counters
 	fCheckpoint    = 8  // coordinator → shard: write your checkpoint blob
 	fCheckpointAck = 9  // shard → coordinator: blob written (or error)
 	fValues        = 10 // shard → coordinator: final owned vertex values
+	fPeerHello     = 11 // shard → shard: opens a peer connection (version + dialer id)
 )
 
 // frameHeaderLen is the fixed per-frame overhead: u32 length, u8 type
@@ -180,6 +192,18 @@ func (w *wbuf) f64s(v []float64) {
 		w.f64(x)
 	}
 }
+func (w *wbuf) u64s(v []uint64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
+}
+func (w *wbuf) strs(v []string) {
+	w.u32(uint32(len(v)))
+	for _, s := range v {
+		w.str(s)
+	}
+}
 
 // rbuf consumes primitive values with bounds checks everywhere: a
 // truncated or hostile payload latches err and yields zero values, it
@@ -270,6 +294,34 @@ func (r *rbuf) f64s() []float64 {
 	return out
 }
 
+func (r *rbuf) u64s() []uint64 {
+	n := r.u32()
+	if r.err != nil || int(n) > r.remaining()/8 {
+		r.fail("[]uint64")
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(r.b[r.off:])
+		r.off += 8
+	}
+	return out
+}
+
+func (r *rbuf) strs() []string {
+	n := r.u32()
+	// Each entry costs at least the 4-byte length prefix.
+	if r.err != nil || int(n) > r.remaining()/4+1 {
+		r.fail("[]string")
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
 // finish rejects payloads with trailing garbage, so a frame either
 // decodes exactly or not at all.
 func (r *rbuf) finish() error {
@@ -282,20 +334,47 @@ func (r *rbuf) finish() error {
 	return nil
 }
 
-// helloMsg opens a shard's connection.
+// helloMsg opens a shard's coordinator connection. PeerAddr is the
+// shard's peer-mesh listener: the coordinator collects every hello's
+// address and redistributes the full list in the welcomes, which is
+// how shards learn where to dial each other.
 type helloMsg struct {
-	Version uint32
+	Version  uint32
+	PeerAddr string
 }
 
 func (m helloMsg) encode() []byte {
 	var w wbuf
 	w.u32(m.Version)
+	w.str(m.PeerAddr)
 	return w.b
 }
 
 func decodeHello(p []byte) (helloMsg, error) {
 	r := rbuf{b: p}
-	m := helloMsg{Version: r.u32()}
+	m := helloMsg{Version: r.u32(), PeerAddr: r.str()}
+	return m, r.finish()
+}
+
+// peerHelloMsg opens a shard-to-shard connection: the dialer
+// identifies itself so the acceptor can attribute every batch on the
+// link. Version is checked like the coordinator handshake — a mesh
+// must not silently mix wire dialects.
+type peerHelloMsg struct {
+	Version uint32
+	From    uint32
+}
+
+func (m peerHelloMsg) encode() []byte {
+	var w wbuf
+	w.u32(m.Version)
+	w.u32(m.From)
+	return w.b
+}
+
+func decodePeerHello(p []byte) (peerHelloMsg, error) {
+	r := rbuf{b: p}
+	m := peerHelloMsg{Version: r.u32(), From: r.u32()}
 	return m, r.finish()
 }
 
@@ -331,8 +410,9 @@ func (r *rbuf) aggs() aggPairs {
 
 // welcomeMsg hands a shard everything it needs to (re)build its state:
 // identity, the program and graph specs, the vertex→shard assignment,
-// and — when resuming — the checkpoint blobs to reload plus the
-// aggregator values visible at the resume superstep.
+// the peer-mesh address of every shard (index = shard id), and — when
+// resuming — the checkpoint blobs to reload plus the aggregator
+// values visible at the resume superstep.
 type welcomeMsg struct {
 	Version   uint32
 	Shard     uint32
@@ -344,6 +424,7 @@ type welcomeMsg struct {
 	Assign    []int32
 	Aggs      aggPairs
 	BlobKeys  []string // resume blobs (empty = fresh start)
+	Peers     []string // peer listener address per shard id
 }
 
 func (m welcomeMsg) encode() []byte {
@@ -357,10 +438,8 @@ func (m welcomeMsg) encode() []byte {
 	w.str(m.Graph)
 	w.i32s(m.Assign)
 	w.aggs(m.Aggs)
-	w.u32(uint32(len(m.BlobKeys)))
-	for _, k := range m.BlobKeys {
-		w.str(k)
-	}
+	w.strs(m.BlobKeys)
+	w.strs(m.Peers)
 	return w.b
 }
 
@@ -376,15 +455,8 @@ func decodeWelcome(p []byte) (welcomeMsg, error) {
 		Graph:     r.str(),
 		Assign:    r.i32s(),
 		Aggs:      r.aggs(),
-	}
-	nk := r.u32()
-	if r.err == nil && int(nk) <= r.remaining()/4+1 {
-		m.BlobKeys = make([]string, 0, nk)
-		for i := uint32(0); i < nk && r.err == nil; i++ {
-			m.BlobKeys = append(m.BlobKeys, r.str())
-		}
-	} else {
-		r.fail("blob keys")
+		BlobKeys:  r.strs(),
+		Peers:     r.strs(),
 	}
 	return m, r.finish()
 }
@@ -413,8 +485,10 @@ func decodeProceed(p []byte) (proceedMsg, error) {
 }
 
 // batchMsg carries messages sent during superstep S from one shard to
-// another — the serialised form of the sender's per-destination
-// combining slots (or raw message terms under canonical mode).
+// another over their direct peer link — the serialised form of the
+// sender's per-destination combining slots (or raw message terms under
+// canonical mode). With the mesh, From/To are redundancy the receiver
+// validates against the link's peer hello and its own id.
 type batchMsg struct {
 	Superstep uint32
 	From      uint32
@@ -422,10 +496,6 @@ type batchMsg struct {
 	Dst       []int32
 	Val       []float64
 }
-
-// batchToOffset locates the To field inside an encoded batch payload,
-// letting the coordinator route a batch without a full decode.
-const batchToOffset = 8
 
 func (m batchMsg) encode() []byte {
 	var w wbuf
@@ -456,16 +526,21 @@ func decodeBatch(p []byte) (batchMsg, error) {
 }
 
 // barrierMsg is a shard's compute-done vote for superstep S: all its
-// batches are on the wire, here are its counters and aggregator
-// contributions. Under canonical mode Contribs carries every raw term
-// (the coordinator folds them value-sorted); otherwise at most one
-// locally folded partial per name.
+// batches are on the peer mesh, here are its counters, per-peer
+// sent-batch counts and aggregator contributions. SentTo[j] is the
+// number of batch frames this shard put on its link to shard j during
+// S — the coordinator folds the column sums and tells each receiver
+// how many arrivals complete its superstep, replacing the ordering
+// guarantee the relay used to provide. Under canonical mode Contribs
+// carries every raw term (the coordinator folds them value-sorted);
+// otherwise at most one locally folded partial per name.
 type barrierMsg struct {
 	Superstep uint32
 	Sent      uint64
 	Calls     uint64
 	Combined  uint64
 	Remote    uint64
+	SentTo    []uint64
 	AggNames  []string
 	Contribs  [][]float64
 }
@@ -477,6 +552,7 @@ func (m barrierMsg) encode() []byte {
 	w.u64(m.Calls)
 	w.u64(m.Combined)
 	w.u64(m.Remote)
+	w.u64s(m.SentTo)
 	w.u32(uint32(len(m.AggNames)))
 	for i, name := range m.AggNames {
 		w.str(name)
@@ -493,6 +569,7 @@ func decodeBarrier(p []byte) (barrierMsg, error) {
 		Calls:     r.u64(),
 		Combined:  r.u64(),
 		Remote:    r.u64(),
+		SentTo:    r.u64s(),
 	}
 	n := r.u32()
 	if r.err != nil || int(n) > r.remaining()/8+1 {
@@ -508,42 +585,55 @@ func decodeBarrier(p []byte) (barrierMsg, error) {
 	return m, r.finish()
 }
 
-// endBatchesMsg tells a shard the coordinator has forwarded every
-// batch addressed to it for superstep S.
+// endBatchesMsg tells a shard every peer has voted for superstep S and
+// Expect batch frames are addressed to it: the shard keeps draining
+// its peer links until that many S-tagged batches have arrived. The
+// payload is per-shard (the column sum of the barrier SentTo matrix),
+// no longer a broadcast.
 type endBatchesMsg struct {
 	Superstep uint32
+	Expect    uint64
 }
 
 func (m endBatchesMsg) encode() []byte {
 	var w wbuf
 	w.u32(m.Superstep)
+	w.u64(m.Expect)
 	return w.b
 }
 
 func decodeEndBatches(p []byte) (endBatchesMsg, error) {
 	r := rbuf{b: p}
-	m := endBatchesMsg{Superstep: r.u32()}
+	m := endBatchesMsg{Superstep: r.u32(), Expect: r.u64()}
 	return m, r.finish()
 }
 
 // inboxedMsg reports a shard's frontier for the *upcoming* superstep
 // (Superstep = the step the frontier feeds). The sum across shards
 // drives the global halt decision, exactly like the engine's anyWork.
+// PeerFrames/PeerBytes carry the shard's peer-plane wire counters
+// (frames written + read since the last report), so the coordinator's
+// session totals and EvSuperstep deltas still see the data plane it
+// no longer relays.
 type inboxedMsg struct {
-	Superstep uint32
-	Frontier  uint64
+	Superstep  uint32
+	Frontier   uint64
+	PeerFrames uint64
+	PeerBytes  uint64
 }
 
 func (m inboxedMsg) encode() []byte {
 	var w wbuf
 	w.u32(m.Superstep)
 	w.u64(m.Frontier)
+	w.u64(m.PeerFrames)
+	w.u64(m.PeerBytes)
 	return w.b
 }
 
 func decodeInboxed(p []byte) (inboxedMsg, error) {
 	r := rbuf{b: p}
-	m := inboxedMsg{Superstep: r.u32(), Frontier: r.u64()}
+	m := inboxedMsg{Superstep: r.u32(), Frontier: r.u64(), PeerFrames: r.u64(), PeerBytes: r.u64()}
 	return m, r.finish()
 }
 

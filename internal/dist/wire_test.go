@@ -21,6 +21,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		Assign:    []int32{0, 1, 2, 3, 0, 1},
 		Aggs:      aggPairs{Names: []string{"dangling"}, Vals: []float64{0.25}},
 		BlobKeys:  []string{"dist/j/ckpt/00000006/shard-000", "dist/j/ckpt/00000006/shard-001"},
+		Peers:     []string{"127.0.0.1:4001", "127.0.0.1:4002", "127.0.0.1:4003", "127.0.0.1:4004"},
 	}
 	var buf bytes.Buffer
 	if _, err := writeFrame(&buf, fWelcome, welcome.encode()); err != nil {
@@ -39,7 +40,8 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if got.Shard != 2 || got.Shards != 4 || !got.Canonical || got.Start != 6 ||
 		got.Program != welcome.Program || len(got.Assign) != 6 || len(got.BlobKeys) != 2 ||
-		got.Aggs.Names[0] != "dangling" || got.Aggs.Vals[0] != 0.25 {
+		got.Aggs.Names[0] != "dangling" || got.Aggs.Vals[0] != 0.25 ||
+		len(got.Peers) != 4 || got.Peers[2] != "127.0.0.1:4003" {
 		t.Fatalf("welcome round trip mismatch: %+v", got)
 	}
 
@@ -61,22 +63,36 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 
 	barrier := barrierMsg{Superstep: 3, Sent: 10, Calls: 7, Combined: 4, Remote: 6,
+		SentTo:   []uint64{0, 3, 1, 2},
 		AggNames: []string{"a", "b"}, Contribs: [][]float64{{1, 2}, {3}}}
 	bb, err := decodeBarrier(barrier.encode())
-	if err != nil || bb.Combined != 4 || len(bb.Contribs[0]) != 2 || bb.Contribs[1][0] != 3 {
+	if err != nil || bb.Combined != 4 || len(bb.Contribs[0]) != 2 || bb.Contribs[1][0] != 3 ||
+		len(bb.SentTo) != 4 || bb.SentTo[1] != 3 {
 		t.Fatalf("barrier round trip: %+v err %v", bb, err)
 	}
-}
 
-// TestBatchToOffset pins the routing shortcut: the To field must live
-// at batchToOffset inside an encoded batch payload.
-func TestBatchToOffset(t *testing.T) {
-	m := batchMsg{Superstep: 9, From: 1, To: 0x0A0B0C0D, Dst: []int32{1}, Val: []float64{2}}
-	p := m.encode()
-	got := uint32(p[batchToOffset]) | uint32(p[batchToOffset+1])<<8 |
-		uint32(p[batchToOffset+2])<<16 | uint32(p[batchToOffset+3])<<24
-	if got != m.To {
-		t.Fatalf("To at offset %d = %#x, want %#x", batchToOffset, got, m.To)
+	hello := helloMsg{Version: wireVersion, PeerAddr: "127.0.0.1:4100"}
+	hh, err := decodeHello(hello.encode())
+	if err != nil || hh.PeerAddr != hello.PeerAddr || hh.Version != wireVersion {
+		t.Fatalf("hello round trip: %+v err %v", hh, err)
+	}
+
+	ph := peerHelloMsg{Version: wireVersion, From: 3}
+	pp, err := decodePeerHello(ph.encode())
+	if err != nil || pp.From != 3 || pp.Version != wireVersion {
+		t.Fatalf("peer hello round trip: %+v err %v", pp, err)
+	}
+
+	eb := endBatchesMsg{Superstep: 7, Expect: 42}
+	ee, err := decodeEndBatches(eb.encode())
+	if err != nil || ee.Superstep != 7 || ee.Expect != 42 {
+		t.Fatalf("end-batches round trip: %+v err %v", ee, err)
+	}
+
+	ib := inboxedMsg{Superstep: 5, Frontier: 11, PeerFrames: 9, PeerBytes: 4096}
+	ii, err := decodeInboxed(ib.encode())
+	if err != nil || ii.Frontier != 11 || ii.PeerFrames != 9 || ii.PeerBytes != 4096 {
+		t.Fatalf("inboxed round trip: %+v err %v", ii, err)
 	}
 }
 
@@ -122,7 +138,11 @@ func TestFrameCorruption(t *testing.T) {
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
-	f.Add(appendFrame(nil, fHello, helloMsg{Version: wireVersion}.encode()))
+	f.Add(appendFrame(nil, fHello, helloMsg{Version: wireVersion, PeerAddr: "127.0.0.1:4100"}.encode()))
+	f.Add(appendFrame(nil, fPeerHello, peerHelloMsg{Version: wireVersion, From: 2}.encode()))
+	f.Add(appendFrame(nil, fEndBatches, endBatchesMsg{Superstep: 4, Expect: 17}.encode()))
+	f.Add(appendFrame(nil, fInboxed, inboxedMsg{Superstep: 4, Frontier: 8, PeerFrames: 3, PeerBytes: 2048}.encode()))
+	f.Add(appendFrame(nil, fBarrier, barrierMsg{Superstep: 1, SentTo: []uint64{0, 2}}.encode()))
 	f.Add(appendFrame(nil, fProceed, proceedMsg{Superstep: 3, Aggs: aggPairs{Names: []string{"x"}, Vals: []float64{1}}}.encode()))
 	f.Add(appendFrame(nil, fBatch, batchMsg{Superstep: 1, From: 0, To: 1, Dst: []int32{4}, Val: []float64{0.5}}.encode()))
 	f.Add(appendFrame(nil, fBarrier, barrierMsg{Superstep: 2, AggNames: []string{"a"}, Contribs: [][]float64{{1}}}.encode()))
@@ -143,6 +163,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		switch typ {
 		case fHello:
 			_, _ = decodeHello(payload)
+		case fPeerHello:
+			_, _ = decodePeerHello(payload)
 		case fWelcome:
 			_, _ = decodeWelcome(payload)
 		case fProceed:

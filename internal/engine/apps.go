@@ -3,7 +3,9 @@ package engine
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math"
+	"sort"
 
 	"hourglass/internal/graph"
 )
@@ -322,6 +324,51 @@ func (c *GraphColoring) UnmarshalAux(b []byte) error {
 			c.neighborColors[v][col] = true
 		}
 	}
+	return nil
+}
+
+// MarshalVertexAux implements VertexAux: v's pending-higher count and
+// neighbour-color set, colors ascending so identical state always
+// serialises to identical bytes (a map walk would not).
+func (c *GraphColoring) MarshalVertexAux(v graph.VertexID) []byte {
+	colors := make([]int32, 0, len(c.neighborColors[v]))
+	for col := range c.neighborColors[v] {
+		colors = append(colors, col)
+	}
+	sort.Slice(colors, func(i, j int) bool { return colors[i] < colors[j] })
+	buf := make([]byte, 0, 8+4*len(colors))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.pendingHigher[v]))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(colors)))
+	for _, col := range colors {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(col))
+	}
+	return buf
+}
+
+// UnmarshalVertexAux implements VertexAux. InitAux must have run (it
+// sizes the arrays); the entry replaces v's baseline state entirely.
+func (c *GraphColoring) UnmarshalVertexAux(v graph.VertexID, b []byte) error {
+	if int(v) >= len(c.pendingHigher) {
+		return fmt.Errorf("engine: vertex aux for vertex %d of %d (InitAux not run?)", v, len(c.pendingHigher))
+	}
+	if len(b) < 8 {
+		return fmt.Errorf("engine: vertex aux blob is %d bytes", len(b))
+	}
+	pending := int32(binary.LittleEndian.Uint32(b))
+	k := binary.LittleEndian.Uint32(b[4:])
+	if uint64(len(b)) != 8+4*uint64(k) {
+		return fmt.Errorf("engine: vertex aux blob is %d bytes for %d colors", len(b), k)
+	}
+	c.pendingHigher[v] = pending
+	if k == 0 {
+		c.neighborColors[v] = nil
+		return nil
+	}
+	set := make(map[int32]bool, k)
+	for i := uint32(0); i < k; i++ {
+		set[int32(binary.LittleEndian.Uint32(b[8+4*i:]))] = true
+	}
+	c.neighborColors[v] = set
 	return nil
 }
 

@@ -250,6 +250,21 @@ type AuxState interface {
 	UnmarshalAux([]byte) error
 }
 
+// VertexAux is implemented by AuxState programs whose auxiliary state
+// decomposes per vertex. Distributed shards require it: each shard
+// checkpoints only its owned vertices' entries, and a resume — possibly
+// under a different shard count — overlays them onto a fresh InitAux.
+// Marshalling must be deterministic (identical state → identical bytes)
+// so checkpoints stay bit-identical across runs.
+type VertexAux interface {
+	AuxState
+	// MarshalVertexAux serialises one vertex's auxiliary state.
+	MarshalVertexAux(v graph.VertexID) []byte
+	// UnmarshalVertexAux restores one vertex's auxiliary state onto
+	// the InitAux baseline.
+	UnmarshalVertexAux(v graph.VertexID, b []byte) error
+}
+
 // Config controls an execution.
 type Config struct {
 	// Workers is the number of worker goroutines (≥1).

@@ -10,18 +10,22 @@
 #
 # BENCHTIME (default 2s) controls -benchtime.
 #
-# The emitted JSON carries two sections: "baseline" holds the frozen
+# The emitted JSON carries three sections: "baseline" holds the frozen
 # pre-message-plane numbers (per-vertex inbox slices, O(V) liveness
 # scan) measured on the same benchmark immediately before the rewrite,
+# "dist_baseline" holds the frozen pre-mesh distributed numbers (every
+# batch relayed through the coordinator, compute and send serialized),
 # and "current" holds this run.
 #
 # --check reruns the benchmark and compares each case against the
 # "current" section of the committed BENCH_ENGINE.json (or [ref]).
-# It fails if any case's ns/superstep regresses by more than 25% or
-# its allocs/op more than doubles. Wall-clock numbers on shared CI
-# runners are noisy — the job that runs this is advisory — but the
-# alloc gate is deterministic: it is what keeps the observability
-# hooks and future engine work honest about hot-path allocations.
+# It fails if any case's ns/superstep regresses by more than 25%, its
+# allocs/op more than doubles, or — for dist/ cases — its
+# wirebytes/superstep grows by more than 25%. Wall-clock numbers on
+# shared CI runners are noisy — the job that runs this is advisory —
+# but the alloc and wirebyte gates are deterministic: they keep the
+# observability hooks, engine work and the peer-mesh data plane honest
+# about hot-path allocations and bytes on the wire.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,12 +78,14 @@ if [[ "${1:-}" == "--check" ]]; then
       line = $0
       gsub(/[",{}:]/, " ", line)
       n = split(line, f, /[ \t]+/)
+      wbytes = "null"
       for (i = 1; i <= n; i++) {
-        if (f[i] == "case")             name = f[i + 1]
-        if (f[i] == "ns_per_superstep") step = f[i + 1]
-        if (f[i] == "allocs_per_op")    allocs = f[i + 1]
+        if (f[i] == "case")                    name = f[i + 1]
+        if (f[i] == "ns_per_superstep")        step = f[i + 1]
+        if (f[i] == "allocs_per_op")           allocs = f[i + 1]
+        if (f[i] == "wirebytes_per_superstep") wbytes = f[i + 1]
       }
-      print name, step, allocs
+      print name, step, allocs, wbytes
     }
   ' "$ref")"
 
@@ -88,13 +94,13 @@ if [[ "${1:-}" == "--check" ]]; then
       n = split(ref, lines, "\n")
       for (i = 1; i <= n; i++) {
         split(lines[i], f, " ")
-        if (f[1] != "") { refstep[f[1]] = f[2]; refallocs[f[1]] = f[3] }
+        if (f[1] != "") { refstep[f[1]] = f[2]; refallocs[f[1]] = f[3]; refwbytes[f[1]] = f[4] }
       }
-      printf("%-28s %14s %14s %8s %10s %10s %8s\n",
-             "case", "ns/superstep", "ref", "ratio", "allocs/op", "ref", "ratio")
+      printf("%-28s %14s %14s %8s %10s %10s %8s %8s\n",
+             "case", "ns/superstep", "ref", "ratio", "allocs/op", "ref", "ratio", "wbytes")
     }
     {
-      name = $1; step = $3; allocs = $5
+      name = $1; step = $3; allocs = $5; wbytes = $7
       if (!(name in refstep)) {
         printf("%-28s (new case, no reference — skipped)\n", name)
         next
@@ -104,14 +110,22 @@ if [[ "${1:-}" == "--check" ]]; then
       flag = ""
       if (sr > 1.25) { flag = flag " SLOW"; bad = 1 }
       if (ar > 2.0)  { flag = flag " ALLOCS"; bad = 1 }
-      printf("%-28s %14d %14d %7.2fx %10d %10d %7.2fx%s\n",
-             name, step, refstep[name], sr, allocs, refallocs[name], ar, flag)
+      # dist cases also report wire traffic; gate bytes/superstep so a
+      # data-plane change cannot silently inflate what crosses the mesh.
+      wr = "    -   "
+      if (wbytes != "null" && refwbytes[name] != "null" && refwbytes[name] > 0) {
+        w = wbytes / refwbytes[name]
+        wr = sprintf("%7.2fx", w)
+        if (w > 1.25) { flag = flag " WIREBYTES"; bad = 1 }
+      }
+      printf("%-28s %14d %14d %7.2fx %10d %10d %7.2fx %s%s\n",
+             name, step, refstep[name], sr, allocs, refallocs[name], ar, wr, flag)
       checked++
     }
     END {
       if (checked == 0) { print "bench check: no cases matched " refname > "/dev/stderr"; exit 2 }
       if (bad) {
-        print "bench check: FAILED (>25% ns/superstep or >2x allocs/op vs " refname ")" > "/dev/stderr"
+        print "bench check: FAILED (>25% ns/superstep, >2x allocs/op, or >25% wirebytes/superstep vs " refname ")" > "/dev/stderr"
         exit 1
       }
       print "bench check: ok (" checked " cases within thresholds)" > "/dev/stderr"
@@ -129,10 +143,13 @@ echo "$raw" >&2
   printf '{\n'
   printf '  "benchmark": "BenchmarkEngineMessagePlane + BenchmarkEngineMessagePlaneDist",\n'
   printf '  "benchtime": "%s",\n' "$benchtime"
+  # run_bench invokes `go test` twice (engine + dist), so each header
+  # key appears twice in the raw output — emit only the first of each,
+  # or the JSON carries duplicated keys.
   awk '
-    $1 == "goos:"   { printf("  \"goos\": \"%s\",\n", $2) }
-    $1 == "goarch:" { printf("  \"goarch\": \"%s\",\n", $2) }
-    $1 == "cpu:"    { $1 = ""; sub(/^ /, ""); printf("  \"cpu\": \"%s\",\n", $0) }
+    $1 == "goos:"   && !seen_goos++   { printf("  \"goos\": \"%s\",\n", $2) }
+    $1 == "goarch:" && !seen_goarch++ { printf("  \"goarch\": \"%s\",\n", $2) }
+    $1 == "cpu:"    && !seen_cpu++    { $1 = ""; sub(/^ /, ""); printf("  \"cpu\": \"%s\",\n", $0) }
   ' <<<"$raw"
   # Frozen pre-rewrite numbers (engine as of PR 1, 2s benchtime, same
   # benchmark and graph: RMAT scale 12, undirected, weighted).
@@ -155,6 +172,21 @@ echo "$raw" >&2
     ]
   },
 BASELINE
+  # Frozen pre-mesh distributed numbers (PR 6 plane: batches relayed
+  # through the coordinator via batchToOffset, compute → flush → barrier
+  # fully serialized, graph rebuilt per shard per session; 2s benchtime,
+  # same RMAT scale-12 graph).
+  cat <<'DIST_BASELINE'
+  "dist_baseline": {
+    "note": "distributed plane before the shard-to-shard peer mesh, compute/send overlap and the memoized graph build (all batches relayed through the coordinator)",
+    "results": [
+      {"case": "dist/pagerank/shards=2", "ns_per_op": 255041329, "ns_per_superstep": 23185552, "bytes_per_op": 125845638, "allocs_per_op": 33405, "frames_per_superstep": 12.55, "wirebytes_per_superstep": 892669},
+      {"case": "dist/pagerank/shards=4", "ns_per_op": 398117845, "ns_per_superstep": 36192503, "bytes_per_op": 194296477, "allocs_per_op": 41042, "frames_per_superstep": 39.64, "wirebytes_per_superstep": 1415851},
+      {"case": "dist/sssp/shards=2", "ns_per_op": 206613239, "ns_per_superstep": 15893310, "bytes_per_op": 54336096, "allocs_per_op": 2378, "frames_per_superstep": 12.31, "wirebytes_per_superstep": 41355},
+      {"case": "dist/sssp/shards=4", "ns_per_op": 299840231, "ns_per_superstep": 23064601, "bytes_per_op": 91425372, "allocs_per_op": 6469, "frames_per_superstep": 37.69, "wirebytes_per_superstep": 86011}
+    ]
+  },
+DIST_BASELINE
   printf '  "current": [\n'
   parse_bench "$raw" | awk '
     {
