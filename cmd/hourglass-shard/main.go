@@ -23,12 +23,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hourglass/internal/cloud"
 	"hourglass/internal/dist"
@@ -58,6 +61,11 @@ func main() {
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("hourglass-shard: ")
+	// SIGINT/SIGTERM cancel the session context: barrier waits, peer
+	// dials and inbox drains all unwind within the watchdog window, so
+	// an orchestrator's soft kill is enough to stop a live cluster.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 	if *storeDir == "" {
 		log.Fatal("-store is required")
 	}
@@ -91,7 +99,7 @@ func main() {
 		log.Printf("coordinating %q on %s, waiting for %d shards", *program, ln.Addr(), *shards)
 		var rep *dist.Report
 		for session := 0; ; session++ {
-			rep, err = dist.AcceptAndRun(ln, *shards, cfg)
+			rep, err = dist.AcceptAndRun(ctx, ln, *shards, cfg)
 			if err == nil {
 				break
 			}
@@ -120,7 +128,7 @@ func main() {
 		Logf:                 log.Printf,
 	}
 	if *once {
-		if err := dist.Dial(*coordinator, opts); err != nil {
+		if err := dist.Dial(ctx, *coordinator, opts); err != nil {
 			log.Print(err)
 			if errors.Is(err, dist.ErrShardDied) {
 				os.Exit(3)
@@ -129,7 +137,7 @@ func main() {
 		}
 		return
 	}
-	if err := dist.Serve(*coordinator, opts); err != nil {
+	if err := dist.Serve(ctx, *coordinator, opts); err != nil {
 		log.Fatal(err)
 	}
 }

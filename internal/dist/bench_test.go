@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -31,7 +32,7 @@ func BenchmarkEngineMessagePlaneDist(b *testing.B) {
 				b.ReportAllocs()
 				var supersteps, frames, bytes int64
 				for i := 0; i < b.N; i++ {
-					rep, err := RunCluster(Config{
+					rep, err := RunCluster(context.Background(), Config{
 						Job:       fmt.Sprintf("bench-%s-%d", tc.pspec.Name, shards),
 						Program:   tc.pspec,
 						Graph:     gspec,

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -12,12 +13,25 @@ import (
 // coordinator session over them. Shard ids follow accept order (the
 // Welcome tells each shard which id it got). Accepting is bounded by
 // the watchdog window so a missing shard process fails the session
-// instead of hanging it.
-func AcceptAndRun(ln net.Listener, shards int, cfg Config) (*Report, error) {
+// instead of hanging it, and by ctx: cancellation interrupts a pending
+// Accept (the listener is left open — callers reuse it across recovery
+// sessions) and aborts the session.
+func AcceptAndRun(ctx context.Context, ln net.Listener, shards int, cfg Config) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: session cancelled: %w", err)
+	}
 	timeout := cfg.BarrierTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	// Cancellation unblocks Accept by expiring the listener deadline;
+	// the listener itself stays open for the caller.
+	stop := context.AfterFunc(ctx, func() {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(time.Now())
+		}
+	})
+	defer stop()
 	conns := make([]net.Conn, 0, shards)
 	closeAll := func() {
 		for _, c := range conns {
@@ -31,6 +45,9 @@ func AcceptAndRun(ln net.Listener, shards int, cfg Config) (*Report, error) {
 		c, err := ln.Accept()
 		if err != nil {
 			closeAll()
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("dist: session cancelled while accepting shard %d of %d: %w", len(conns), shards, cerr)
+			}
 			return nil, fmt.Errorf("dist: accepting shard %d of %d: %w", len(conns), shards, err)
 		}
 		conns = append(conns, c)
@@ -38,15 +55,17 @@ func AcceptAndRun(ln net.Listener, shards int, cfg Config) (*Report, error) {
 	if tl, ok := ln.(*net.TCPListener); ok {
 		_ = tl.SetDeadline(time.Time{})
 	}
-	return RunCoordinator(conns, cfg)
+	return RunCoordinator(ctx, conns, cfg)
 }
 
 // RunCluster runs one session with the coordinator and all shard
 // workers in this process, wired over loopback TCP — the one-machine
-// deployment and the unit-test harness. shardOpts, when non-nil,
-// supplies per-shard options (chaos hooks); a zero-Store option
-// inherits cfg.Store.
-func RunCluster(cfg Config, shards int, shardOpts func(i int) ShardOptions) (*Report, error) {
+// deployment and the unit-test harness. Cancelling ctx tears the whole
+// cluster down: the coordinator aborts at its next barrier wait and
+// every shard goroutine has exited by the time RunCluster returns.
+// shardOpts, when non-nil, supplies per-shard options (chaos hooks); a
+// zero-Store option inherits cfg.Store.
+func RunCluster(ctx context.Context, cfg Config, shards int, shardOpts func(i int) ShardOptions) (*Report, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("dist: %d shards", shards)
 	}
@@ -71,31 +90,51 @@ func RunCluster(cfg Config, shards int, shardOpts func(i int) ShardOptions) (*Re
 			defer wg.Done()
 			// Session errors surface coordinator-side (shard loss); a
 			// shard's own view is diagnostics only.
-			if err := Dial(addr, opts); err != nil {
+			if err := Dial(ctx, addr, opts); err != nil {
 				cfg.logf("dist: in-process shard: %v", err)
 			}
 		}()
 	}
-	rep, err := AcceptAndRun(ln, shards, cfg)
-	// Coordinator teardown closed every connection, so the shard
-	// goroutines are unblocked and exiting.
+	rep, err := AcceptAndRun(ctx, ln, shards, cfg)
+	// Coordinator teardown closed every connection (and a cancelled ctx
+	// reaches the shards directly), so the shard goroutines are
+	// unblocked and exiting.
 	wg.Wait()
 	return rep, err
 }
 
+// ShardPlan maps a recovery attempt (0 = the first session) to the
+// worker count that attempt runs with. Recovery resumes from per-shard
+// checkpoint blobs filtered by the *current* assignment, so successive
+// attempts are free to shrink or grow the cluster — the paper's
+// re-provision-at-a-different-worker-count loop, and the hook the
+// runtime driver uses when the provisioner re-decides after a loss.
+type ShardPlan func(attempt int) int
+
+// FixedShards is the trivial plan: every attempt runs `n` workers.
+func FixedShards(n int) ShardPlan { return func(int) int { return n } }
+
 // ExecuteWithRecovery drives a job to completion across shard losses:
 // each *ShardLostError tears the session down and a fresh one resumes
 // from the newest complete checkpoint in cfg.Store (or from scratch if
-// none was written yet). Other errors, and loss beyond maxRestarts,
-// abort. Returns the final report and the number of restarts taken.
-func ExecuteWithRecovery(cfg Config, shards, maxRestarts int, shardOpts func(attempt, shard int) ShardOptions) (*Report, int, error) {
+// none was written yet) with plan(attempt) workers. Other errors —
+// including ctx cancellation, which aborts the live session within
+// cfg.BarrierTimeout — and loss beyond maxRestarts abort. Returns the
+// final report and the number of restarts taken.
+func ExecuteWithRecovery(ctx context.Context, cfg Config, plan ShardPlan, maxRestarts int, shardOpts func(attempt, shard int) ShardOptions) (*Report, int, error) {
+	if plan == nil {
+		return nil, 0, errors.New("dist: nil shard plan")
+	}
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, attempt, fmt.Errorf("dist: cancelled before attempt %d: %w", attempt, err)
+		}
 		var perShard func(i int) ShardOptions
 		if shardOpts != nil {
 			a := attempt
 			perShard = func(i int) ShardOptions { return shardOpts(a, i) }
 		}
-		rep, err := RunCluster(cfg, shards, perShard)
+		rep, err := RunCluster(ctx, cfg, plan(attempt), perShard)
 		if err == nil {
 			return rep, attempt, nil
 		}
@@ -103,6 +142,9 @@ func ExecuteWithRecovery(cfg Config, shards, maxRestarts int, shardOpts func(att
 		if !errors.As(err, &lost) || attempt >= maxRestarts {
 			return nil, attempt, err
 		}
-		cfg.logf("dist: restarting after %v (attempt %d of %d)", err, attempt+1, maxRestarts)
+		// attempt is 0-based, so the restart about to happen is number
+		// attempt+1 of the maxRestarts the budget allows.
+		cfg.logf("dist: restarting after %v (restart %d of %d, next session %d workers)",
+			err, attempt+1, maxRestarts, plan(attempt+1))
 	}
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -154,6 +155,7 @@ type shardEvent struct {
 // session is one coordinator run over an established set of shard
 // connections.
 type session struct {
+	ctx     context.Context
 	cfg     Config
 	shards  int
 	timeout time.Duration
@@ -174,6 +176,10 @@ type session struct {
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
+	// procs holds each shard's self-declared process identity from its
+	// hello ("pid:1234"); empty until the handshake names a shard.
+	procs []string
+
 	wireFrames atomic.Int64
 	wireBytes  atomic.Int64
 	coordBatch atomic.Int64
@@ -186,8 +192,11 @@ type session struct {
 // handshake, superstep loop with barriers, checkpoints, halt, value
 // collection. On shard loss it returns *ShardLostError after emitting
 // obs.EvShardEvict; the caller restarts with fresh connections and the
-// same Store to resume.
-func RunCoordinator(conns []net.Conn, cfg Config) (*Report, error) {
+// same Store to resume. Cancelling ctx aborts the session at its next
+// barrier wait (a non-ShardLostError, so recovery loops stop retrying)
+// and the deferred teardown closes every shard connection on the way
+// out.
+func RunCoordinator(ctx context.Context, conns []net.Conn, cfg Config) (*Report, error) {
 	if len(conns) == 0 {
 		return nil, errors.New("dist: no shard connections")
 	}
@@ -198,6 +207,7 @@ func RunCoordinator(conns []net.Conn, cfg Config) (*Report, error) {
 		return nil, errors.New("dist: Config.Job is required")
 	}
 	s := &session{
+		ctx:     ctx,
 		cfg:     cfg,
 		shards:  len(conns),
 		timeout: cfg.BarrierTimeout,
@@ -351,10 +361,15 @@ func (s *session) popOrQuit(shard int) ([][]byte, bool) {
 // error the caller propagates.
 func (s *session) lost(shard int, cause error) error {
 	if s.cfg.Sink != nil {
+		var proc string
+		if shard < len(s.procs) {
+			proc = s.procs[shard]
+		}
 		s.cfg.Sink.Emit(obs.Event{
 			Type:      obs.EvShardEvict,
 			Job:       s.prog.Name(),
 			Shard:     shard,
+			Proc:      proc,
 			Superstep: s.superstep,
 			Err:       cause.Error(),
 		})
@@ -365,10 +380,18 @@ func (s *session) lost(shard int, cause error) error {
 
 // gather waits until every shard delivered one frame of the given
 // type, returning payloads indexed by shard. Reader errors, protocol
-// violations and watchdog expiry all become ShardLostError. final
-// marks the session's last phase, where a disconnect from a shard that
-// already delivered is the normal end of its session, not a loss.
+// violations and watchdog expiry all become ShardLostError; a
+// cancelled ctx aborts the wait with the ctx error instead (not a
+// loss — recovery loops must stop, not resume). The entry check makes
+// a cancellation that landed between phases deterministic: the next
+// gather refuses to start rather than racing ready events against the
+// closed Done channel. final marks the session's last phase, where a
+// disconnect from a shard that already delivered is the normal end of
+// its session, not a loss.
 func (s *session) gather(typ byte, phase string, final bool) ([][]byte, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: session cancelled before gathering %s: %w", phase, err)
+	}
 	out := make([][]byte, s.shards)
 	seen := make([]bool, s.shards)
 	timer := time.NewTimer(s.timeout)
@@ -377,6 +400,8 @@ func (s *session) gather(typ byte, phase string, final bool) ([][]byte, error) {
 		var ev shardEvent
 		select {
 		case ev = <-s.events:
+		case <-s.ctx.Done():
+			return nil, fmt.Errorf("dist: session cancelled while gathering %s: %w", phase, s.ctx.Err())
 		case <-timer.C:
 			for i := range seen {
 				if !seen[i] {
@@ -452,6 +477,7 @@ func (s *session) run() (*Report, error) {
 		return nil, err
 	}
 	peers := make([]string, s.shards)
+	s.procs = make([]string, s.shards)
 	for i, p := range hellos {
 		h, derr := decodeHello(p)
 		if derr != nil {
@@ -464,6 +490,7 @@ func (s *session) run() (*Report, error) {
 			return nil, s.lost(i, errors.New("dist: hello without a peer-plane address"))
 		}
 		peers[i] = h.PeerAddr
+		s.procs[i] = h.Proc
 	}
 	for i := 0; i < s.shards; i++ {
 		w := welcomeMsg{
@@ -493,6 +520,12 @@ func (s *session) run() (*Report, error) {
 	}
 	S := start
 	for frontier > 0 {
+		// Deterministic cancellation point: a ctx cancelled at (or
+		// before) the previous barrier stops the session here, before
+		// any shard is told to proceed into S.
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dist: session cancelled before superstep %d: %w", S, err)
+		}
 		if S-start >= maxSteps {
 			return nil, fmt.Errorf("dist: exceeded %d supersteps without halting", maxSteps)
 		}

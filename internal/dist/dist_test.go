@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -104,7 +105,7 @@ func TestDistBitIdentity(t *testing.T) {
 					Store:     cloud.NewDatastore(),
 					Sink:      sink,
 				}
-				rep, err := RunCluster(cfg, shards, nil)
+				rep, err := RunCluster(context.Background(), cfg, shards, nil)
 				if err != nil {
 					t.Fatalf("%d shards: %v", shards, err)
 				}
@@ -167,7 +168,7 @@ func TestDistKillRecovery(t *testing.T) {
 		Store:           store,
 		Sink:            sink,
 	}
-	rep, restarts, err := ExecuteWithRecovery(cfg, 4, 2, func(attempt, shard int) ShardOptions {
+	rep, restarts, err := ExecuteWithRecovery(context.Background(), cfg, FixedShards(4), 2, func(attempt, shard int) ShardOptions {
 		opts := ShardOptions{Store: store}
 		if attempt == 0 && shard == 2 {
 			opts.DieAtSuperstep = 5
@@ -230,7 +231,7 @@ func TestDistPeerKillRecovery(t *testing.T) {
 		Store:           store,
 		Sink:            sink,
 	}
-	rep, restarts, err := ExecuteWithRecovery(cfg, 4, 2, func(attempt, shard int) ShardOptions {
+	rep, restarts, err := ExecuteWithRecovery(context.Background(), cfg, FixedShards(4), 2, func(attempt, shard int) ShardOptions {
 		opts := ShardOptions{Store: store}
 		if attempt == 0 && shard == 1 {
 			opts.DropPeersAtSuperstep = 5
@@ -273,7 +274,7 @@ func TestDistGraphColoringAuxRecovery(t *testing.T) {
 		CheckpointEvery: 1,
 		Store:           store,
 	}
-	_, err := RunCluster(cfg, 4, func(i int) ShardOptions {
+	_, err := RunCluster(context.Background(), cfg, 4, func(i int) ShardOptions {
 		opts := ShardOptions{Store: store}
 		if i == 2 {
 			opts.DieAtSuperstep = 2
@@ -284,7 +285,7 @@ func TestDistGraphColoringAuxRecovery(t *testing.T) {
 	if !errors.As(err, &lost) {
 		t.Fatalf("first session: %v, want ShardLostError", err)
 	}
-	rep, err := RunCluster(cfg, 3, nil)
+	rep, err := RunCluster(context.Background(), cfg, 3, nil)
 	if err != nil {
 		t.Fatalf("resume with 3 shards: %v", err)
 	}
@@ -309,7 +310,7 @@ func TestDistResumeAcrossShardCounts(t *testing.T) {
 		CheckpointEvery: 2,
 		Store:           store,
 	}
-	_, err := RunCluster(cfg, 4, func(i int) ShardOptions {
+	_, err := RunCluster(context.Background(), cfg, 4, func(i int) ShardOptions {
 		opts := ShardOptions{Store: store}
 		if i == 0 {
 			opts.DieAtSuperstep = 5
@@ -320,7 +321,7 @@ func TestDistResumeAcrossShardCounts(t *testing.T) {
 	if !errors.As(err, &lost) {
 		t.Fatalf("first session: %v, want ShardLostError", err)
 	}
-	rep, err := RunCluster(cfg, 3, nil)
+	rep, err := RunCluster(context.Background(), cfg, 3, nil)
 	if err != nil {
 		t.Fatalf("resume with 3 shards: %v", err)
 	}
@@ -349,7 +350,7 @@ func TestDistBarrierWatchdog(t *testing.T) {
 		Sink:            sink,
 	}
 	begin := time.Now()
-	_, err := RunCluster(cfg, 3, func(i int) ShardOptions {
+	_, err := RunCluster(context.Background(), cfg, 3, func(i int) ShardOptions {
 		opts := ShardOptions{Store: store}
 		if i == 1 {
 			opts.MuteAtSuperstep = 3
@@ -370,7 +371,7 @@ func TestDistBarrierWatchdog(t *testing.T) {
 	if len(sink.byType(obs.EvShardEvict)) != 1 {
 		t.Errorf("%d shard-evict events, want 1", len(sink.byType(obs.EvShardEvict)))
 	}
-	rep, err := RunCluster(cfg, 3, nil)
+	rep, err := RunCluster(context.Background(), cfg, 3, nil)
 	if err != nil {
 		t.Fatalf("recovery session: %v", err)
 	}
@@ -395,7 +396,7 @@ func TestDistCheckpointFallback(t *testing.T) {
 		CheckpointEvery: 2,
 		Store:           store,
 	}
-	_, err := RunCluster(cfg, 2, func(i int) ShardOptions {
+	_, err := RunCluster(context.Background(), cfg, 2, func(i int) ShardOptions {
 		opts := ShardOptions{Store: store}
 		if i == 0 {
 			opts.DieAtSuperstep = 5
@@ -416,7 +417,7 @@ func TestDistCheckpointFallback(t *testing.T) {
 	if _, err := store.Put(key, data); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RunCluster(cfg, 2, nil)
+	rep, err := RunCluster(context.Background(), cfg, 2, nil)
 	if err != nil {
 		t.Fatalf("resume after corruption: %v", err)
 	}
@@ -438,7 +439,7 @@ func TestDistFreshAfterClear(t *testing.T) {
 		CheckpointEvery: 1,
 		Store:           store,
 	}
-	if _, err := RunCluster(cfg, 2, nil); err != nil {
+	if _, err := RunCluster(context.Background(), cfg, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := ClearJob(store, cfg.Job); err != nil {
@@ -447,11 +448,132 @@ func TestDistFreshAfterClear(t *testing.T) {
 	for _, k := range store.Keys() {
 		t.Errorf("key %q survived ClearJob", k)
 	}
-	rep, err := RunCluster(cfg, 2, nil)
+	rep, err := RunCluster(context.Background(), cfg, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Resumed {
 		t.Error("session resumed from a cleared namespace")
 	}
+}
+
+// cancelAfterSink cancels a context once it has seen `after` superstep
+// events — the deterministic stand-in for "the driver decided to stop
+// the cluster mid-run".
+type cancelAfterSink struct {
+	after  int
+	cancel context.CancelFunc
+
+	mu sync.Mutex
+	n  int
+}
+
+func (s *cancelAfterSink) Emit(e obs.Event) {
+	if e.Type != obs.EvSuperstep {
+		return
+	}
+	s.mu.Lock()
+	s.n++
+	trip := s.n == s.after
+	s.mu.Unlock()
+	if trip {
+		s.cancel()
+	}
+}
+
+// TestDistRunClusterCancel is the tentpole's cancellation acceptance
+// check at the dist layer: cancelling the context mid-run must stop a
+// live cluster — coordinator error, every shard goroutine exited —
+// within the barrier-timeout budget, and the error must NOT look like
+// a shard loss (recovery loops abort instead of retrying a deliberate
+// stop).
+func TestDistRunClusterCancel(t *testing.T) {
+	pspec := ProgramSpec{Name: "pagerank", Iterations: 10}
+	store := cloud.NewDatastore()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Job:             "pagerank-cancel",
+		Program:         pspec,
+		Graph:           testGraph,
+		Canonical:       true,
+		CheckpointEvery: 2,
+		BarrierTimeout:  5 * time.Second,
+		Store:           store,
+		Sink:            &cancelAfterSink{after: 3, cancel: cancel},
+	}
+	begin := time.Now()
+	_, err := RunCluster(ctx, cfg, 3, nil)
+	elapsed := time.Since(begin)
+	if err == nil {
+		t.Fatal("cancelled cluster reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cluster error = %v, want context.Canceled in its chain", err)
+	}
+	var lost *ShardLostError
+	if errors.As(err, &lost) {
+		t.Fatalf("cancellation surfaced as shard loss (%v) — recovery would retry a deliberate stop", err)
+	}
+	if elapsed > cfg.BarrierTimeout {
+		t.Fatalf("teardown took %v, budget %v", elapsed, cfg.BarrierTimeout)
+	}
+	// RunCluster returning at all proves every shard goroutine exited:
+	// it waits on them. And a recovery loop over the same dead context
+	// must abort before booting anything.
+	_, restarts, rerr := ExecuteWithRecovery(ctx, cfg, FixedShards(3), 4, nil)
+	if rerr == nil || restarts != 0 {
+		t.Fatalf("ExecuteWithRecovery on a cancelled context: restarts=%d err=%v, want immediate abort", restarts, rerr)
+	}
+}
+
+// TestDistExecuteWithRecoveryReshard drives one job through three
+// sessions at three *different* worker counts — 4, then 3, then 2 —
+// by killing a shard on the first two attempts. The ShardPlan is the
+// tentpole's resize path: each recovery attempt resumes the same blob
+// set under a new assignment, and the final values stay bit-identical.
+func TestDistExecuteWithRecoveryReshard(t *testing.T) {
+	pspec := ProgramSpec{Name: "pagerank", Iterations: 10}
+	ref := refRun(t, pspec, true)
+	if ref.Stats.Supersteps <= 6 {
+		t.Fatalf("reference run too short (%d supersteps) for kills at supersteps 3 and 5", ref.Stats.Supersteps)
+	}
+	store := cloud.NewDatastore()
+	cfg := Config{
+		Job:             "pagerank-replan",
+		Program:         pspec,
+		Graph:           testGraph,
+		Canonical:       true,
+		CheckpointEvery: 2,
+		Store:           store,
+	}
+	counts := []int{4, 3, 2}
+	plan := func(attempt int) int {
+		if attempt >= len(counts) {
+			return counts[len(counts)-1]
+		}
+		return counts[attempt]
+	}
+	rep, restarts, err := ExecuteWithRecovery(context.Background(), cfg, plan, 3, func(attempt, shard int) ShardOptions {
+		opts := ShardOptions{Store: store}
+		switch {
+		case attempt == 0 && shard == 1:
+			opts.DieAtSuperstep = 3
+		case attempt == 1 && shard == 0:
+			opts.DieAtSuperstep = 5
+		}
+		return opts
+	})
+	if err != nil {
+		t.Fatalf("resharded recovery failed: %v", err)
+	}
+	if restarts != 2 {
+		t.Fatalf("%d restarts, want exactly 2", restarts)
+	}
+	// Attempt 0 died at superstep 3 (durable: 2), attempt 1 resumed at
+	// 2 and died at 5 (durable: 4), attempt 2 finished from 4.
+	if !rep.Resumed || rep.StartSuperstep != 4 {
+		t.Fatalf("resumed=%v start=%d, want final session resuming at superstep 4", rep.Resumed, rep.StartSuperstep)
+	}
+	assertBitIdentical(t, rep.Values, ref.Values, "resharded recovery 4→3→2")
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -85,17 +86,20 @@ func (m *peerMesh) addr() string { return m.ln.Addr().String() }
 // accept loop starts taking inbound links, and one outbound link is
 // dialed to each peer. Dial order is by ascending shard id; because
 // inbound and outbound links are separate connections, no shard ever
-// waits on a peer's dial to finish its own.
-func (m *peerMesh) connect(self int, peers []string) error {
+// waits on a peer's dial to finish its own. Cancelling ctx interrupts
+// any in-flight dial (a peer that never comes up cannot wedge the
+// session past its teardown).
+func (m *peerMesh) connect(ctx context.Context, self int, peers []string) error {
 	m.self = self
 	m.out = make([]*peerLink, len(peers))
 	m.wg.Add(1)
 	go m.accept()
+	var d net.Dialer
 	for j, addr := range peers {
 		if j == self {
 			continue
 		}
-		conn, err := net.Dial("tcp", addr)
+		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {
 			return fmt.Errorf("dist: shard %d dialing peer %d at %s: %w", self, j, addr, err)
 		}

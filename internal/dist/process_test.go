@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"net"
 	"os/exec"
@@ -73,7 +74,7 @@ func TestDistProcess(t *testing.T) {
 			for i := range procs {
 				procs[i] = spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
 			}
-			rep, err := AcceptAndRun(ln, shards, Config{
+			rep, err := AcceptAndRun(context.Background(), ln, shards, Config{
 				Job:            "proc-" + tc.pspec.Name,
 				Program:        tc.pspec,
 				Graph:          testGraph,
@@ -135,7 +136,7 @@ func TestDistProcessKillRecovery(t *testing.T) {
 	defer ln.Close()
 	healthy := spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
 	doomed := spawnShard(t, bin, ln.Addr().String(), storeDir, 5)
-	_, err = AcceptAndRun(ln, shards, cfg)
+	_, err = AcceptAndRun(context.Background(), ln, shards, cfg)
 	var lost *ShardLostError
 	if !errors.As(err, &lost) {
 		t.Fatalf("session 1: %v, want ShardLostError", err)
@@ -156,7 +157,7 @@ func TestDistProcessKillRecovery(t *testing.T) {
 		spawned := spawnShard(t, bin, ln.Addr().String(), storeDir, 0)
 		defer spawned.Wait()
 	}
-	rep, err := AcceptAndRun(ln, shards, cfg)
+	rep, err := AcceptAndRun(context.Background(), ln, shards, cfg)
 	if err != nil {
 		t.Fatalf("session 2: %v", err)
 	}

@@ -2,9 +2,11 @@ package dist
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sort"
 	"time"
 
@@ -35,6 +37,11 @@ type ShardOptions struct {
 	// never sends the barrier vote, leaving the connection open. It
 	// exercises the coordinator's barrier watchdog.
 	MuteAtSuperstep int
+	// Proc is the worker's self-declared process identity, announced in
+	// the hello and attached to the coordinator's shard-loss events
+	// ("" = "pid:<os pid>"). Launchers that multiplex workers inside one
+	// process set it per worker ("goroutine:0.2").
+	Proc string
 	// DropPeersAtSuperstep, when > 0, severs every peer-mesh
 	// connection halfway through that superstep's worklist — mid-flush,
 	// since staged slots ship as they fill — while keeping the
@@ -58,35 +65,41 @@ func (o ShardOptions) logf(format string, args ...any) {
 // RunShard serves one coordinator session on an established
 // connection: handshake, peer-mesh wiring, state build (fresh or
 // checkpoint reload), then the superstep protocol until halt or error.
-func RunShard(conn net.Conn, opts ShardOptions) error {
+// Cancelling ctx aborts the session wherever it is blocked — coordinator
+// frame waits, peer dials and inbox drains all select on ctx.Done — so
+// a torn-down cluster leaves no shard goroutine behind.
+func RunShard(ctx context.Context, conn net.Conn, opts ShardOptions) error {
 	defer conn.Close()
 	if opts.Store == nil {
 		return errors.New("dist: ShardOptions.Store is required")
 	}
 	s := &shardSession{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<16),
-		bw:   bufio.NewWriterSize(conn, 1<<16),
-		opts: opts,
+		runCtx: ctx,
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 1<<16),
+		bw:     bufio.NewWriterSize(conn, 1<<16),
+		opts:   opts,
 	}
 	return s.run()
 }
 
 // Dial connects to a coordinator and serves one session.
-func Dial(addr string, opts ShardOptions) error {
-	conn, err := net.Dial("tcp", addr)
+func Dial(ctx context.Context, addr string, opts ShardOptions) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
 	}
-	return RunShard(conn, opts)
+	return RunShard(ctx, conn, opts)
 }
 
 // Serve runs sessions against a coordinator address in a loop: each
 // completed or broken session is followed by a reconnect, so one shard
 // process can serve the successive sessions a recovering job goes
-// through. Serve returns only when a connection cannot be established
-// within the retry budget (e.g. the coordinator is gone for good).
-func Serve(addr string, opts ShardOptions) error {
+// through. Serve returns when ctx is cancelled, or when a connection
+// cannot be established within the retry budget (e.g. the coordinator
+// is gone for good).
+func Serve(ctx context.Context, addr string, opts ShardOptions) error {
 	const (
 		retryEvery = 100 * time.Millisecond
 		retryFor   = 30 * time.Second
@@ -96,17 +109,28 @@ func Serve(addr string, opts ShardOptions) error {
 		var err error
 		deadline := time.Now().Add(retryFor)
 		for {
-			conn, err = net.Dial("tcp", addr)
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("dist: shard serve loop cancelled: %w", cerr)
+			}
+			var d net.Dialer
+			conn, err = d.DialContext(ctx, "tcp", addr)
 			if err == nil {
 				break
 			}
 			if time.Now().After(deadline) {
 				return fmt.Errorf("dist: coordinator %s unreachable for %v: %w", addr, retryFor, err)
 			}
-			time.Sleep(retryEvery)
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("dist: shard serve loop cancelled: %w", ctx.Err())
+			case <-time.After(retryEvery):
+			}
 		}
-		if err := RunShard(conn, opts); err != nil {
+		if err := RunShard(ctx, conn, opts); err != nil {
 			opts.logf("dist: shard session ended: %v", err)
+			if ctx.Err() != nil {
+				return err
+			}
 			if errors.Is(err, ErrShardDied) {
 				// The injected death is one-shot: the next session (the
 				// recovery attempt) must be allowed to finish.
@@ -141,10 +165,11 @@ type coordFrame struct {
 // superstep's inbox is complete, since no central router orders the
 // frames any more.
 type shardSession struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	opts ShardOptions
+	runCtx context.Context
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	opts   ShardOptions
 
 	mesh    *peerMesh
 	coordIn chan coordFrame
@@ -238,7 +263,11 @@ func (s *shardSession) run() error {
 	if s.opts.PeerAdvertise != "" {
 		peerAddr = s.opts.PeerAdvertise
 	}
-	if err := s.send(fHello, helloMsg{Version: wireVersion, PeerAddr: peerAddr}.encode()); err != nil {
+	proc := s.opts.Proc
+	if proc == "" {
+		proc = fmt.Sprintf("pid:%d", os.Getpid())
+	}
+	if err := s.send(fHello, helloMsg{Version: wireVersion, PeerAddr: peerAddr, Proc: proc}.encode()); err != nil {
 		return err
 	}
 	if err := s.flush(); err != nil {
@@ -264,7 +293,7 @@ func (s *shardSession) run() error {
 	if len(w.Peers) != s.shards {
 		return fmt.Errorf("dist: welcome names %d peers for %d shards", len(w.Peers), s.shards)
 	}
-	if err := mesh.connect(s.id, w.Peers); err != nil {
+	if err := mesh.connect(s.runCtx, s.id, w.Peers); err != nil {
 		return err
 	}
 	start := int(w.Start)
@@ -282,7 +311,12 @@ func (s *shardSession) run() error {
 		// channel until that step's drain. A peer-plane error is
 		// likewise consulted only inside a superstep — after halt the
 		// mesh tearing down is the normal end of a session.
-		fr := <-s.coordIn
+		var fr coordFrame
+		select {
+		case fr = <-s.coordIn:
+		case <-s.runCtx.Done():
+			return fmt.Errorf("dist: shard %d session cancelled: %w", s.id, s.runCtx.Err())
+		}
 		if fr.err != nil {
 			return fmt.Errorf("dist: shard %d: %w", s.id, fr.err)
 		}
@@ -732,6 +766,8 @@ func (s *shardSession) step(p proceedMsg) error {
 				}
 			case <-s.mesh.in:
 			case <-s.mesh.errc:
+			case <-s.runCtx.Done():
+				return fmt.Errorf("dist: shard %d session cancelled: %w", s.id, s.runCtx.Err())
 			}
 		}
 	}
@@ -783,6 +819,8 @@ func (s *shardSession) step(p proceedMsg) error {
 			}
 		case err := <-s.mesh.errc:
 			return fmt.Errorf("dist: shard %d: peer plane failed during superstep %d: %w", s.id, S, err)
+		case <-s.runCtx.Done():
+			return fmt.Errorf("dist: shard %d inbox drain cancelled during superstep %d: %w", s.id, S, s.runCtx.Err())
 		}
 	}
 	return s.sendInboxed(S+1, len(s.work[npar]))

@@ -45,7 +45,9 @@ import (
 // Version 2 is the peer-mesh plane: hello/welcome carry peer
 // addresses, barriers carry per-peer batch counts, EndBatches carries
 // the expected arrival count, and batches flow shard-to-shard.
-const wireVersion = 2
+// Version 3 adds the worker's self-declared process identity to the
+// hello, so shard-loss events name the actual process that died.
+const wireVersion = 3
 
 // MaxFrameBytes bounds a single frame's payload. Batches are chunked
 // well below this (batchChunk); the bound exists so a corrupt length
@@ -337,22 +339,27 @@ func (r *rbuf) finish() error {
 // helloMsg opens a shard's coordinator connection. PeerAddr is the
 // shard's peer-mesh listener: the coordinator collects every hello's
 // address and redistributes the full list in the welcomes, which is
-// how shards learn where to dial each other.
+// how shards learn where to dial each other. Proc is the worker's
+// self-declared process identity ("pid:1234", "goroutine:0.2"): shard
+// ids follow accept order, so only the worker itself can tell the
+// coordinator which process ended up behind which id.
 type helloMsg struct {
 	Version  uint32
 	PeerAddr string
+	Proc     string
 }
 
 func (m helloMsg) encode() []byte {
 	var w wbuf
 	w.u32(m.Version)
 	w.str(m.PeerAddr)
+	w.str(m.Proc)
 	return w.b
 }
 
 func decodeHello(p []byte) (helloMsg, error) {
 	r := rbuf{b: p}
-	m := helloMsg{Version: r.u32(), PeerAddr: r.str()}
+	m := helloMsg{Version: r.u32(), PeerAddr: r.str(), Proc: r.str()}
 	return m, r.finish()
 }
 

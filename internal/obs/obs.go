@@ -59,9 +59,10 @@ type Event struct {
 
 	// Distributed message-plane fields (EvSuperstep from a dist
 	// coordinator, EvShardEvict on shard loss).
-	Shard      int   `json:"shard,omitempty"`       // shard id (EvShardEvict)
-	WireFrames int64 `json:"wire_frames,omitempty"` // frames in+out this step
-	WireBytes  int64 `json:"wire_bytes,omitempty"`  // bytes in+out this step
+	Shard      int    `json:"shard,omitempty"`       // shard id (EvShardEvict)
+	Proc       string `json:"proc,omitempty"`        // process identity: the worker set (EvDeploy) or the lost worker (EvShardEvict)
+	WireFrames int64  `json:"wire_frames,omitempty"` // frames in+out this step
+	WireBytes  int64  `json:"wire_bytes,omitempty"`  // bytes in+out this step
 
 	// Retry fields (EvRetry).
 	Attempts int    `json:"attempts,omitempty"`

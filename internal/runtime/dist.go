@@ -1,0 +1,656 @@
+// Runtime-driven distributed clusters: ExecuteDist is Execute's
+// sibling for the multi-process BSP engine (internal/dist). Where
+// Execute abandons an in-process engine segment and Resumes from an
+// engine checkpoint, ExecuteDist tears down a whole process set — an
+// eviction or re-decision cancels the segment context, which unwinds
+// the coordinator at its next barrier wait and every shard worker at
+// its next frame wait or inbox drain — then re-decides the worker
+// count and boots a *new* process set that resumes from the per-shard
+// checkpoint blobs at the new shard count. The decision model, the
+// virtual-time billing and the last-resort fallback are shared with
+// Execute; only the execution substrate changes.
+//
+// Process sets come from a DistLauncher: LoopbackLauncher runs shards
+// as goroutines in this process (unit tests, one-machine deployments),
+// ProcessLauncher execs real hourglass-shard worker processes
+// (integration; a killed process is indistinguishable from a spot
+// eviction). Either way the driver never keeps a deployment across a
+// decision point — with the workers gone, KeepCurrent has nothing to
+// keep, so every decision is a fresh boot billed like one.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"hourglass/internal/cloud"
+	"hourglass/internal/core"
+	"hourglass/internal/dist"
+	"hourglass/internal/obs"
+	"hourglass/internal/sim"
+	"hourglass/internal/simnet"
+	"hourglass/internal/units"
+)
+
+// WorkerSet is one booted set of shard workers. IDs are stable
+// per-worker identities ("goroutine:0.2", "pid:4711") that the driver
+// stamps into EvDeploy and EvShardEvict events, tying the virtual
+// trajectory to real process lifecycles.
+type WorkerSet interface {
+	// IDs returns one identity per worker, indexed by shard id.
+	IDs() []string
+	// Stop tears the set down (idempotent; cancelling the launch
+	// context has the same effect).
+	Stop()
+	// Wait blocks until every worker has exited.
+	Wait()
+}
+
+// DistLauncher boots worker sets for the dist driver. Launch is called
+// once per deployment with the coordinator address the workers must
+// dial, the worker count this deployment runs at, and the 0-based
+// deployment number (the chaos seam: tests key fault injection off
+// attempt/shard). Workers must exit when ctx is cancelled.
+type DistLauncher interface {
+	Launch(ctx context.Context, addr string, shards, attempt int) (WorkerSet, error)
+}
+
+// LoopbackLauncher runs shard workers as goroutines in this process,
+// connected to the coordinator over loopback TCP — real wire frames
+// and real checkpoint blobs, no process overhead.
+type LoopbackLauncher struct {
+	// Store holds the shards' checkpoint blobs (required; must be the
+	// store the coordinator seals manifests in).
+	Store cloud.BlobStore
+	// ShardOpts, when non-nil, supplies per-shard options per
+	// deployment — the chaos hooks. A zero Store inherits the
+	// launcher's.
+	ShardOpts func(attempt, shard int) dist.ShardOptions
+	// Logf receives per-shard session diagnostics (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+// Launch implements DistLauncher.
+func (l *LoopbackLauncher) Launch(ctx context.Context, addr string, shards, attempt int) (WorkerSet, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	ws := &loopbackSet{cancel: cancel, ids: make([]string, shards)}
+	for i := 0; i < shards; i++ {
+		opts := dist.ShardOptions{Store: l.Store}
+		if l.ShardOpts != nil {
+			opts = l.ShardOpts(attempt, i)
+			if opts.Store == nil {
+				opts.Store = l.Store
+			}
+		}
+		ws.ids[i] = fmt.Sprintf("goroutine:%d.%d", attempt, i)
+		// The worker announces its identity in the hello: the
+		// coordinator assigns shard ids by accept order, so loss events
+		// can only be attributed by the worker naming itself.
+		if opts.Proc == "" {
+			opts.Proc = ws.ids[i]
+		}
+		ws.wg.Add(1)
+		go func() {
+			defer ws.wg.Done()
+			// Session errors surface coordinator-side (as shard loss);
+			// the shard's own view is diagnostics only.
+			if err := dist.Dial(wctx, addr, opts); err != nil && l.Logf != nil {
+				l.Logf("runtime: loopback shard: %v", err)
+			}
+		}()
+	}
+	return ws, nil
+}
+
+type loopbackSet struct {
+	ids    []string
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func (s *loopbackSet) IDs() []string { return s.ids }
+func (s *loopbackSet) Stop()         { s.cancel() }
+func (s *loopbackSet) Wait()         { s.wg.Wait() }
+
+// ProcessLauncher boots real hourglass-shard OS processes in -once
+// mode, sharing checkpoints through a cloud.FSStore directory. Workers
+// die with the launch context (SIGKILL via exec.CommandContext), so a
+// cancelled or evicted segment leaves no process behind.
+type ProcessLauncher struct {
+	// Bin is the hourglass-shard binary path (required).
+	Bin string
+	// StoreDir is the checkpoint directory passed as -store; it must
+	// back the same files as the driver's Store (required).
+	StoreDir string
+	// ExtraArgs, when non-nil, appends per-worker flags — the chaos
+	// seam for -die-at style fault injection.
+	ExtraArgs func(attempt, shard int) []string
+}
+
+// Launch implements DistLauncher.
+func (l *ProcessLauncher) Launch(ctx context.Context, addr string, shards, attempt int) (WorkerSet, error) {
+	ws := &processSet{}
+	for i := 0; i < shards; i++ {
+		args := []string{"-coordinator", addr, "-store", l.StoreDir, "-once"}
+		if l.ExtraArgs != nil {
+			args = append(args, l.ExtraArgs(attempt, i)...)
+		}
+		cmd := exec.CommandContext(ctx, l.Bin, args...)
+		if err := cmd.Start(); err != nil {
+			ws.Stop()
+			ws.Wait()
+			return nil, fmt.Errorf("runtime: starting shard process %d of %d: %w", i, shards, err)
+		}
+		ws.cmds = append(ws.cmds, cmd)
+		ws.ids = append(ws.ids, fmt.Sprintf("pid:%d", cmd.Process.Pid))
+	}
+	return ws, nil
+}
+
+type processSet struct {
+	ids  []string
+	cmds []*exec.Cmd
+}
+
+func (s *processSet) IDs() []string { return s.ids }
+
+func (s *processSet) Stop() {
+	for _, c := range s.cmds {
+		if c.Process != nil {
+			_ = c.Process.Kill()
+		}
+	}
+}
+
+func (s *processSet) Wait() {
+	for _, c := range s.cmds {
+		// A torn-down or chaos-killed -once worker exits nonzero by
+		// design; all the driver needs is that it is gone.
+		_ = c.Wait()
+	}
+}
+
+// DistOptions configures one runtime-driven distributed execution.
+type DistOptions struct {
+	// Env supplies the configuration set, market, eviction traces and
+	// per-config stats (required). A decision's Config.Count is the
+	// worker count its process set boots with.
+	Env *core.Env
+	// Prov decides the configuration after every eviction and loss
+	// (required).
+	Prov core.Provisioner
+	// Program and Graph are the specs every process instantiates
+	// (required: Program.Name non-empty).
+	Program dist.ProgramSpec
+	Graph   dist.GraphSpec
+	// Store holds per-shard checkpoint blobs and manifests (required).
+	// It must be reachable by every worker the Launcher boots, and the
+	// Job namespace must be clean at the first deployment — a stale
+	// checkpoint there would be resumed from.
+	Store cloud.BlobStore
+	// Job namespaces the checkpoint keys in Store (required).
+	Job string
+	// Launcher boots the worker sets (required).
+	Launcher DistLauncher
+	// TotalSupersteps is the expected superstep count of an
+	// uninterrupted run — the denominator of the work-left model
+	// (required > 0).
+	TotalSupersteps int
+
+	// CheckpointEvery is the dist checkpoint interval in supersteps
+	// (0 = 2). The dist plane always checkpoints: the process set is
+	// the only holder of in-memory state, so a provisioner decision
+	// without durability would make every loss a restart from scratch.
+	CheckpointEvery int
+	// RestartBudget bounds evictions + losses before the driver pins
+	// the last-resort configuration (0 = 8).
+	RestartBudget int
+	// MaxDecisions guards against livelock (0 = 10_000).
+	MaxDecisions int
+	// BarrierTimeout is the coordinator's watchdog window; ctx
+	// cancellation also resolves within it (0 = the dist default).
+	BarrierTimeout time.Duration
+	// MaxSupersteps aborts runaway sessions (0 = dist default).
+	MaxSupersteps int
+	// BytesPerVertex sizes the parallel checkpoint reload flows priced
+	// by simnet (0 = 64).
+	BytesPerVertex int64
+	// Net shapes the reload network (zero value = simnet.DefaultConfig).
+	Net simnet.Config
+	// Sink receives the structured event stream; EvDeploy and
+	// EvShardEvict carry worker process identity in Proc. Nil disables
+	// tracing.
+	Sink obs.Sink
+	// Logf receives non-fatal diagnostics (nil = standard logger).
+	Logf func(format string, args ...any)
+}
+
+func (o *DistOptions) validate() error {
+	switch {
+	case o.Env == nil:
+		return errors.New("runtime: nil Env")
+	case o.Prov == nil:
+		return errors.New("runtime: nil Prov")
+	case o.Program.Name == "":
+		return errors.New("runtime: empty Program.Name")
+	case o.Store == nil:
+		return errors.New("runtime: nil Store")
+	case o.Job == "":
+		return errors.New("runtime: empty Job")
+	case o.Launcher == nil:
+		return errors.New("runtime: nil Launcher")
+	case o.TotalSupersteps <= 0:
+		return fmt.Errorf("runtime: TotalSupersteps = %d", o.TotalSupersteps)
+	}
+	return nil
+}
+
+func (o *DistOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// ExecuteDist drives the distributed program to completion under
+// injected evictions and real worker losses, starting at virtual time
+// start with an absolute deadline. Cancelling ctx stops the live
+// cluster — coordinator and every worker — within BarrierTimeout. The
+// returned Report is meaningful even alongside an error: it carries
+// the spend, I/O and deployment history accumulated before the
+// failure.
+func ExecuteDist(ctx context.Context, opts DistOptions, start, deadline units.Seconds) (Report, error) {
+	if err := opts.validate(); err != nil {
+		return Report{}, err
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 2
+	}
+	if opts.RestartBudget <= 0 {
+		opts.RestartBudget = 8
+	}
+	if opts.MaxDecisions <= 0 {
+		opts.MaxDecisions = 10_000
+	}
+	if opts.BytesPerVertex <= 0 {
+		opts.BytesPerVertex = 64
+	}
+	if opts.Net == (simnet.Config{}) {
+		opts.Net = simnet.DefaultConfig()
+	}
+	d := &distDriver{
+		opts:     &opts,
+		evictor:  sim.Evictor{Market: opts.Env.Market},
+		deadline: deadline,
+		t:        start,
+	}
+	return d.run(ctx)
+}
+
+// distDriver carries the mutable state of one ExecuteDist call.
+type distDriver struct {
+	opts     *DistOptions
+	evictor  sim.Evictor
+	deadline units.Seconds
+	rep      Report
+
+	t       units.Seconds // virtual clock
+	durable int           // newest durable checkpoint superstep (0 = none)
+}
+
+func (d *distDriver) emit(e obs.Event) {
+	if d.opts.Sink != nil {
+		d.opts.Sink.Emit(e)
+	}
+}
+
+// spend bills a machine-time interval on the market, mirroring the
+// in-process driver so obs.Summarize folds the trace to rep.Cost
+// bit-exactly.
+func (d *distDriver) spend(c cloud.Config, from, to units.Seconds) error {
+	cost, err := d.opts.Env.Market.Cost(c, from, to)
+	if err != nil {
+		return err
+	}
+	d.rep.Cost += cost
+	if d.opts.Sink != nil {
+		d.opts.Sink.Emit(obs.Event{Type: obs.EvSpend, T: float64(from),
+			Config: c.ID(), USD: float64(cost)})
+	}
+	return nil
+}
+
+func (d *distDriver) run(ctx context.Context) (Report, error) {
+	env := d.opts.Env
+	for attempt := 0; ; attempt++ {
+		d.rep.Decisions++
+		if d.rep.Decisions > d.opts.MaxDecisions {
+			return d.rep, fmt.Errorf("runtime: exceeded %d decisions (provisioner livelock?)", d.opts.MaxDecisions)
+		}
+		if err := ctx.Err(); err != nil {
+			return d.rep, fmt.Errorf("runtime: dist run cancelled after %d decisions: %w", d.rep.Decisions, err)
+		}
+		// No live deployment survives a dist decision point (the process
+		// set is gone), so Current is always nil and every decision boots
+		// fresh.
+		st := core.State{Now: d.t, WorkLeft: workLeft(d.opts.TotalSupersteps, d.durable),
+			Deadline: d.deadline}
+		dec, cs, err := d.decide(env, st)
+		if err != nil {
+			return d.rep, err
+		}
+		_ = dec // durability is not optional on the dist plane; see CheckpointEvery
+		done, err := d.segment(ctx, cs, attempt)
+		if err != nil || done {
+			return d.rep, err
+		}
+	}
+}
+
+// decide consults the provisioner, or pins the last-resort
+// configuration once the restart budget or slack is exhausted — the
+// same §5 fallback the in-process driver takes.
+func (d *distDriver) decide(env *core.Env, st core.State) (core.Decision, *core.ConfigStats, error) {
+	if d.rep.Restarts < d.opts.RestartBudget && env.Slack(st) > 0 {
+		return sim.Decide(env, d.opts.Prov, st, d.opts.Sink)
+	}
+	if !d.rep.LastResort {
+		d.rep.LastResort = true
+		d.opts.logf("runtime: dist job %q engaging last-resort %s (restarts=%d/%d, slack=%.0fs)",
+			env.Job.Name, env.LRC.Config.ID(), d.rep.Restarts, d.opts.RestartBudget, float64(env.Slack(st)))
+	}
+	dec, cs := lastResortDecision(env, st, d.opts.Sink)
+	return dec, cs, nil
+}
+
+// reloadTime prices the parallel checkpoint reload of a fresh process
+// set: every worker pulls its share of the vertices from the
+// datastore. The dist plane assigns vertices round-robin, so the
+// per-worker flows are even to within one vertex.
+func (d *distDriver) reloadTime(workers int) units.Seconds {
+	cluster, err := simnet.NewCluster(workers, d.opts.Net)
+	if err != nil {
+		d.opts.logf("runtime: dist reload pricing: %v", err)
+		return 0
+	}
+	vertices := int64(1) << d.opts.Graph.Scale
+	flows := make([]simnet.Flow, 0, workers)
+	for w := 0; w < workers; w++ {
+		n := vertices / int64(workers)
+		if int64(w) < vertices%int64(workers) {
+			n++
+		}
+		flows = append(flows, simnet.Flow{Src: simnet.DatastoreNode, Dst: w,
+			Bytes: n * d.opts.BytesPerVertex})
+	}
+	return cluster.SimulateFlows(flows)
+}
+
+// segment boots one process set under cs and runs one dist session,
+// folding the outcome into the report. It returns done=true when the
+// job finished (successfully or not recoverably).
+func (d *distDriver) segment(ctx context.Context, cs *core.ConfigStats, attempt int) (bool, error) {
+	env := d.opts.Env
+	shards := cs.Config.Count
+
+	// Deploy billing mirrors the in-process driver: wait for market
+	// availability, boot, then either the profiled input load (fresh
+	// start) or the simnet-priced parallel checkpoint redistribution
+	// to the new worker count.
+	avail, err := env.Market.NextAvailable(cs.Config, d.t)
+	if err != nil {
+		return false, err
+	}
+	var ioLoad units.Seconds
+	if d.durable > 0 {
+		ioLoad = d.reloadTime(shards)
+	} else {
+		ioLoad = cs.Load
+	}
+	d.rep.IOTime += ioLoad
+	readyAt := avail + cs.Boot + ioLoad
+	if err := d.spend(cs.Config, avail, readyAt); err != nil {
+		return false, err
+	}
+	d.t = readyAt
+	d.rep.Reconfigs++
+	d.rep.ShardCounts = append(d.rep.ShardCounts, shards)
+
+	nextEvict := d.evictor.Next(cs.Config, readyAt)
+	secPerStep := units.Seconds(float64(cs.Exec) / float64(d.opts.TotalSupersteps))
+	remSteps := d.opts.TotalSupersteps - d.durable
+	if remSteps < 1 {
+		remSteps = 1
+	}
+	stepsToEvict := math.MaxInt
+	if !math.IsInf(float64(nextEvict), 1) {
+		if ratio := float64(nextEvict-d.t) / float64(secPerStep); ratio < 1e12 {
+			stepsToEvict = int(ratio)
+		}
+	}
+	if stepsToEvict <= 0 {
+		// Evicted before one superstep would complete: not worth booting
+		// the cluster at all.
+		if err := d.spend(cs.Config, d.t, nextEvict); err != nil {
+			return false, err
+		}
+		d.evictAt(nextEvict, cs)
+		return false, nil
+	}
+	evictAfter := 0 // 0 = this segment is not interrupted
+	if stepsToEvict < remSteps {
+		evictAfter = stepsToEvict
+	}
+
+	rep, mon, runErr := d.session(ctx, cs, shards, attempt, evictAfter)
+	actual := mon.stepsDone()
+	segEnd := d.t + units.Seconds(float64(actual)*float64(secPerStep))
+
+	switch {
+	case runErr == nil:
+		return d.finish(rep, cs, segEnd, nextEvict, mon)
+
+	case mon.tripped() && ctx.Err() == nil:
+		// Injected eviction: the machines ran (and are billed) up to the
+		// price crossing; progress past the durable frontier is gone
+		// with the processes.
+		if err := d.spend(cs.Config, d.t, nextEvict); err != nil {
+			return false, err
+		}
+		d.commitDurable(mon)
+		d.evictAt(nextEvict, cs)
+		return false, nil
+
+	case ctx.Err() != nil:
+		d.commitDurable(mon)
+		return false, fmt.Errorf("runtime: dist run cancelled mid-session: %w", ctx.Err())
+
+	default:
+		var lost *dist.ShardLostError
+		if errors.As(runErr, &lost) {
+			// A worker actually died (chaos hook, killed process): bill
+			// the supersteps that did complete, then go back around —
+			// the next decision is free to pick a different worker count
+			// and the next session resumes the blobs at that count.
+			if err := d.spend(cs.Config, d.t, segEnd); err != nil {
+				return false, err
+			}
+			d.commitDurable(mon)
+			d.evictAt(segEnd, cs)
+			return false, nil
+		}
+		return false, runErr
+	}
+}
+
+// session boots the worker set and runs one coordinator session over
+// it. Whatever the outcome, the set is torn down and waited for before
+// returning: the next deployment must never race a straggler from
+// this one.
+func (d *distDriver) session(ctx context.Context, cs *core.ConfigStats, shards, attempt, evictAfter int) (*dist.Report, *distMonitor, error) {
+	segCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, &distMonitor{}, fmt.Errorf("runtime: dist coordinator listener: %w", err)
+	}
+	defer ln.Close()
+	ws, err := d.opts.Launcher.Launch(segCtx, ln.Addr().String(), shards, attempt)
+	if err != nil {
+		return nil, &distMonitor{}, fmt.Errorf("runtime: launching %d workers: %w", shards, err)
+	}
+	mon := &distMonitor{forward: d.opts.Sink, cancel: cancel, evictAfter: evictAfter}
+	d.emit(obs.Event{Type: obs.EvDeploy, T: float64(d.t), Job: d.opts.Env.Job.Name,
+		Config: cs.Config.ID(), WorkLeft: workLeft(d.opts.TotalSupersteps, d.durable),
+		Proc: strings.Join(ws.IDs(), ","), Reload: d.durable > 0})
+	cfg := dist.Config{
+		Job:             d.opts.Job,
+		Program:         d.opts.Program,
+		Graph:           d.opts.Graph,
+		Canonical:       true,
+		CheckpointEvery: d.opts.CheckpointEvery,
+		MaxSupersteps:   d.opts.MaxSupersteps,
+		BarrierTimeout:  d.opts.BarrierTimeout,
+		Store:           d.opts.Store,
+		Sink:            mon,
+		Logf:            d.opts.Logf,
+	}
+	rep, runErr := dist.AcceptAndRun(segCtx, ln, shards, cfg)
+	cancel()
+	ws.Stop()
+	ws.Wait()
+	return rep, mon, runErr
+}
+
+// evictAt records a deployment-level eviction at absolute time `at`.
+func (d *distDriver) evictAt(at units.Seconds, cs *core.ConfigStats) {
+	d.t = at
+	d.rep.Evictions++
+	d.rep.Restarts++
+	d.emit(obs.Event{Type: obs.EvEvict, T: float64(at), Job: d.opts.Env.Job.Name,
+		Config: cs.Config.ID(), WorkLeft: workLeft(d.opts.TotalSupersteps, d.durable)})
+}
+
+// commitDurable folds a session's checkpoint progress into the driver:
+// the durable frontier only ever advances (a later session resuming an
+// older manifest would have found the newer one first).
+func (d *distDriver) commitDurable(mon *distMonitor) {
+	durable, ckpts := mon.progress()
+	d.rep.Checkpoints += ckpts
+	if durable > d.durable {
+		d.durable = durable
+	}
+}
+
+// finish handles a session that completed the job: bill the compute
+// and the output write (racing the eviction), clear the checkpoint
+// namespace and report.
+func (d *distDriver) finish(rep *dist.Report, cs *core.ConfigStats, segEnd, nextEvict units.Seconds, mon *distMonitor) (bool, error) {
+	outEnd := segEnd + cs.Save
+	if nextEvict < outEnd {
+		// Evicted computing the tail or writing the output: the result
+		// never became durable. The session's checkpoints did, so the
+		// next attempt resumes rather than restarting.
+		if err := d.spend(cs.Config, d.t, nextEvict); err != nil {
+			return false, err
+		}
+		d.commitDurable(mon)
+		d.evictAt(nextEvict, cs)
+		return false, nil
+	}
+	if err := d.spend(cs.Config, d.t, outEnd); err != nil {
+		return false, err
+	}
+	d.t = outEnd
+	d.commitDurable(mon)
+	if cerr := dist.ClearJob(d.opts.Store, d.opts.Job); cerr != nil {
+		d.opts.logf("runtime: dist checkpoint GC for job %q incomplete: %v", d.opts.Job, cerr)
+	}
+	d.rep.Values = rep.Values
+	d.rep.Stats = rep.Stats
+	d.rep.Finished = true
+	d.rep.Completion = d.t
+	d.rep.MissedDeadline = d.t > d.deadline
+	d.emit(obs.Event{Type: obs.EvDone, T: float64(d.t), Job: d.opts.Env.Job.Name,
+		Config: cs.Config.ID(), Done: true,
+		Missed: d.rep.MissedDeadline, USD: float64(d.rep.Cost)})
+	return true, nil
+}
+
+// distMonitor is the coordinator sink of one session: it forwards
+// events (stamping worker identity onto EvShardEvict), tracks the
+// session's superstep and checkpoint progress, and cancels the segment
+// context at the injected eviction boundary. The coordinator emits
+// EvSuperstep synchronously at the barrier — before sealing that
+// boundary's checkpoint — so "evict after N supersteps" is
+// deterministic: the session stops before superstep N+1 and the
+// checkpoint at N never becomes durable, exactly a machine-set loss at
+// that instant.
+type distMonitor struct {
+	forward    obs.Sink
+	cancel     context.CancelFunc
+	evictAfter int // cancel after this many supersteps (0 = never)
+
+	mu          sync.Mutex
+	steps       int // supersteps completed this session
+	durable     int // newest sealed checkpoint superstep this session
+	checkpoints int
+	evicted     bool
+}
+
+func (m *distMonitor) Emit(e obs.Event) {
+	switch e.Type {
+	case obs.EvSuperstep:
+		m.mu.Lock()
+		m.steps++
+		trip := m.evictAfter > 0 && m.steps >= m.evictAfter && !m.evicted
+		if trip {
+			m.evicted = true
+		}
+		m.mu.Unlock()
+		if trip {
+			m.cancel()
+		}
+	case obs.EvCheckpoint:
+		m.mu.Lock()
+		if e.Superstep > m.durable {
+			m.durable = e.Superstep
+		}
+		m.checkpoints++
+		m.mu.Unlock()
+	}
+	if m.forward != nil {
+		m.forward.Emit(e)
+	}
+}
+
+// stepsDone reports the supersteps completed this session.
+func (m *distMonitor) stepsDone() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.steps
+}
+
+// tripped reports whether this monitor cancelled the session at the
+// injected eviction boundary.
+func (m *distMonitor) tripped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
+// progress returns the session's durable frontier and checkpoint count.
+func (m *distMonitor) progress() (durable, checkpoints int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durable, m.checkpoints
+}

@@ -136,6 +136,12 @@ type Report struct {
 	Restarts      int  // evictions + watchdog trips that forced a reload
 	WatchdogTrips int  // wall-clock watchdog firings
 	LastResort    bool // the last-resort fallback was engaged
+
+	// ShardCounts is the worker count of every deployment in boot
+	// order — populated by ExecuteDist, where each entry is one process
+	// set; a re-provision after an eviction may change the count
+	// mid-trajectory. Execute leaves it nil.
+	ShardCounts []int
 }
 
 func (o *Options) validate() error {
@@ -204,14 +210,18 @@ func (d *driver) spend(c cloud.Config, from, to units.Seconds) error {
 
 // workLeft maps completed supersteps to the w(t) ∈ (0,1] fraction the
 // provisioner consumes, clamped above zero so a job that outlives its
-// superstep estimate still registers as unfinished.
-func (d *driver) workLeft(doneSteps int) float64 {
-	total := d.opts.TotalSupersteps
+// superstep estimate still registers as unfinished. Shared by the
+// in-process and dist drivers.
+func workLeft(total, doneSteps int) float64 {
 	w := float64(total-doneSteps) / float64(total)
 	if min := 0.5 / float64(total); w < min {
 		w = min
 	}
 	return w
+}
+
+func (d *driver) workLeft(doneSteps int) float64 {
+	return workLeft(d.opts.TotalSupersteps, doneSteps)
 }
 
 // Execute runs the program to completion under injected evictions,
@@ -300,8 +310,7 @@ func (d *driver) run(ctx context.Context) (Report, error) {
 // fresh LRC deployment finishes within the remaining horizon by
 // construction, so nothing may preempt it again).
 func (d *driver) decide(env *core.Env, st core.State) (core.Decision, *core.ConfigStats, error) {
-	lastResort := d.rep.Restarts >= d.opts.RestartBudget || env.Slack(st) <= 0
-	if !lastResort {
+	if d.rep.Restarts < d.opts.RestartBudget && env.Slack(st) > 0 {
 		return sim.Decide(env, d.opts.Prov, st, d.opts.Sink)
 	}
 	if !d.rep.LastResort {
@@ -309,20 +318,32 @@ func (d *driver) decide(env *core.Env, st core.State) (core.Decision, *core.Conf
 		d.opts.logf("runtime: job %q engaging last-resort %s (restarts=%d/%d, slack=%.0fs)",
 			env.Job.Name, env.LRC.Config.ID(), d.rep.Restarts, d.opts.RestartBudget, float64(env.Slack(st)))
 	}
+	dec, cs := lastResortDecision(env, st, d.opts.Sink)
+	return dec, cs, nil
+}
+
+// lastResortDecision pins the deterministic §5 fallback configuration
+// and emits the matching EvDecision — shared by the in-process driver
+// and the dist driver, so both trajectories degrade identically when
+// the restart budget or slack runs out. KeepCurrent derives from
+// st.Current (nil once the deployment is torn down).
+func lastResortDecision(env *core.Env, st core.State, sink obs.Sink) (core.Decision, *core.ConfigStats) {
 	dec := core.Decision{
 		Config:       env.LRC.Config,
-		KeepCurrent:  d.cur != nil && d.cur.Config.ID() == env.LRC.Config.ID(),
+		KeepCurrent:  st.Current != nil && st.Current.ID() == env.LRC.Config.ID(),
 		ExpectedCost: env.LRCFinishCost(st.WorkLeft),
 	}
-	d.emit(obs.Event{Type: obs.EvDecision, T: float64(st.Now), Job: env.Job.Name,
-		Config:     dec.Config.ID(),
-		ECUSD:      obs.Finite(float64(dec.ExpectedCost)),
-		SlackSec:   obs.Finite(float64(env.Slack(st))),
-		WorkLeft:   st.WorkLeft,
-		Keep:       dec.KeepCurrent,
-		LastResort: true,
-	})
-	return dec, &env.LRC, nil
+	if sink != nil {
+		sink.Emit(obs.Event{Type: obs.EvDecision, T: float64(st.Now), Job: env.Job.Name,
+			Config:     dec.Config.ID(),
+			ECUSD:      obs.Finite(float64(dec.ExpectedCost)),
+			SlackSec:   obs.Finite(float64(env.Slack(st))),
+			WorkLeft:   st.WorkLeft,
+			Keep:       dec.KeepCurrent,
+			LastResort: true,
+		})
+	}
+	return dec, &env.LRC
 }
 
 // deploy tears down the current deployment (in-memory progress is

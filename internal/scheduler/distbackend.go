@@ -42,12 +42,18 @@ type DistBackend struct {
 	// first session of every recurrence, forcing a checkpoint resume
 	// (chaos soak; the recurrence still completes).
 	KillAtSuperstep int
+	// ShardOpts, when non-nil, supplies per-shard options for each
+	// recovery attempt and overrides KillAtSuperstep — the chaos seam
+	// tests use to script multi-session failures. A zero Store inherits
+	// the backend's store.
+	ShardOpts func(attempt, shard int) dist.ShardOptions
 	// Logf receives diagnostics (nil = discard).
 	Logf func(format string, args ...any)
 
-	mu    sync.Mutex
-	store cloud.BlobStore
-	seq   int
+	mu      sync.Mutex
+	store   cloud.BlobStore
+	seq     int
+	pending map[string]string // jobID → namespace of a failed, resumable run
 }
 
 // Admit delegates to the simulator backend: deadlines, horizons and
@@ -88,13 +94,34 @@ func (b *DistBackend) blobStore() cloud.BlobStore {
 	return b.store
 }
 
-// namespace reserves a unique checkpoint namespace per recurrence.
+// namespace reserves a checkpoint namespace for a recurrence. A run
+// that failed leaves its namespace pending, and the job's next attempt
+// gets the same one back — so the checkpoint blobs a failed run left
+// behind are actually resumable, instead of being stranded under a
+// name no future run will ever look at.
 func (b *DistBackend) namespace(jobID string) string {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ns, ok := b.pending[jobID]; ok {
+		return ns
+	}
 	b.seq++
-	n := b.seq
-	b.mu.Unlock()
-	return fmt.Sprintf("%s-%d", jobID, n)
+	return fmt.Sprintf("%s-%d", jobID, b.seq)
+}
+
+// settle records a run's outcome for its namespace: success forgets it
+// (the blobs are cleared), failure parks it for the job's next attempt.
+func (b *DistBackend) settle(jobID, ns string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		delete(b.pending, jobID)
+		return
+	}
+	if b.pending == nil {
+		b.pending = make(map[string]string)
+	}
+	b.pending[jobID] = ns
 }
 
 // Run executes one recurrence on a loopback shard cluster.
@@ -130,8 +157,8 @@ func (b *DistBackend) Run(ctx context.Context, spec JobSpec, start, deadline uni
 		Sink:            b.Sink,
 		Logf:            b.Logf,
 	}
-	var shardOpts func(attempt, shard int) dist.ShardOptions
-	if b.KillAtSuperstep > 0 {
+	shardOpts := b.ShardOpts
+	if shardOpts == nil && b.KillAtSuperstep > 0 {
 		kill := b.KillAtSuperstep
 		shardOpts = func(attempt, shard int) dist.ShardOptions {
 			opts := dist.ShardOptions{Store: store}
@@ -141,15 +168,30 @@ func (b *DistBackend) Run(ctx context.Context, spec JobSpec, start, deadline uni
 			return opts
 		}
 	}
-	rep, _, err := dist.ExecuteWithRecovery(cfg, shards, shards, shardOpts)
+	if shardOpts != nil {
+		inner := shardOpts
+		shardOpts = func(attempt, shard int) dist.ShardOptions {
+			opts := inner(attempt, shard)
+			if opts.Store == nil {
+				opts.Store = store
+			}
+			return opts
+		}
+	}
+	// ctx rides into the cluster: a cancelled scheduler context aborts
+	// the live session at its next barrier wait (within BarrierTimeout),
+	// not after the job finished on its own.
+	rep, restarts, err := dist.ExecuteWithRecovery(ctx, cfg, dist.FixedShards(shards), shards, shardOpts)
+	b.settle(spec.ID, cfg.Job, err == nil)
+	if err != nil {
+		// The namespace keeps its checkpoint blobs: the next attempt
+		// for this job resumes from them instead of starting over.
+		return sim.RunResult{}, err
+	}
+	// Clearing only a successful run's blobs is what makes the failed
+	// path above resumable.
 	if cerr := dist.ClearJob(store, cfg.Job); cerr != nil && b.Logf != nil {
 		b.Logf("scheduler: clearing dist job %s: %v", cfg.Job, cerr)
-	}
-	if err != nil {
-		return sim.RunResult{}, err
-	}
-	if err := ctx.Err(); err != nil {
-		return sim.RunResult{}, err
 	}
 	res := sim.RunResult{
 		// Flat on-demand billing: the reserved baseline for the env
@@ -158,9 +200,7 @@ func (b *DistBackend) Run(ctx context.Context, spec JobSpec, start, deadline uni
 		Finished:    true,
 		Completion:  start + env.LRC.Fixed + env.LRC.Exec,
 		Checkpoints: rep.Checkpoints,
-	}
-	if rep.Resumed {
-		res.Evictions = 1
+		Evictions:   restarts,
 	}
 	return res, nil
 }
