@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"hourglass"
+	"hourglass/internal/admission"
 	"hourglass/internal/cloud"
 	"hourglass/internal/faultinject"
 	"hourglass/internal/obs"
@@ -65,6 +66,9 @@ func main() {
 	engineWatchdog := flag.Duration("engine-watchdog", 30*time.Second, "wall-clock budget per superstep before a wedged run is reloaded (engine backend)")
 	engineRestarts := flag.Int("engine-restart-budget", 8, "restarts before the last-resort on-demand pin (engine backend)")
 	engineChaos := flag.Bool("engine-chaos", false, "inject seeded faults into the engine checkpoint store (engine backend)")
+	admit := flag.Bool("admission", false, "enable the multi-tenant admission gate: price every submission against the market, pack admitted jobs onto shared deployments, queue or reject the rest")
+	admitPool := flag.Int("admission-pool", 16, "max live shared deployments (admission gate)")
+	admitQueue := flag.Int("admission-queue", 64, "wait-queue depth before 429 (admission gate)")
 	flag.Parse()
 
 	sys, err := hourglass.New(hourglass.Options{Seed: *seed, TraceDays: *traceDays})
@@ -178,6 +182,12 @@ func main() {
 		log.Fatalf("unknown -backend %q (want sim, engine or dist)", *backendName)
 	}
 
+	var admissionCfg *admission.Config
+	if *admit {
+		admissionCfg = &admission.Config{MaxDeployments: *admitPool, QueueDepth: *admitQueue}
+		log.Printf("admission gate: pool %d deployments, queue depth %d", *admitPool, *admitQueue)
+	}
+
 	ctrl, err := scheduler.New(scheduler.Options{
 		Backend:      backend,
 		Workers:      *workers,
@@ -186,6 +196,7 @@ func main() {
 		Store:        store,
 		SnapshotKey:  snapshotKey,
 		Sink:         sink,
+		Admission:    admissionCfg,
 		Logf:         log.Printf,
 	})
 	if err != nil {

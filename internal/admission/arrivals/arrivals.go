@@ -1,0 +1,123 @@
+// Package arrivals generates seeded open-loop submission streams for
+// admission stress tests and the controller-throughput benchmark: a
+// Poisson process (exponential inter-arrival gaps) over a virtual
+// horizon, with arrivals weighted across tenants and a per-tenant
+// fraction of deliberately infeasible deadlines. The stream is purely
+// deterministic in the seed, so CI can replay a failing soak by seed
+// alone.
+package arrivals
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tenant describes one submitting tenant in the mix.
+type Tenant struct {
+	// Name labels the tenant ("team-a").
+	Name string
+	// Weight is the tenant's share of arrivals (relative; <=0 means 1).
+	Weight float64
+	// SlackMin/SlackMax bound the uniform slack factor drawn per job
+	// (the paper's §8.2 deadline scheme: deadline = fixed + (1+slack)·exec
+	// on the last-resort configuration).
+	SlackMin, SlackMax float64
+	// InfeasibleFraction of this tenant's jobs carry a deadline below
+	// the feasibility bound (DeadlineScale < 1 on the minimum feasible
+	// deadline), exercising the 422 path.
+	InfeasibleFraction float64
+}
+
+// Arrival is one generated submission.
+type Arrival struct {
+	// At is the arrival offset from the stream start.
+	At time.Duration
+	// Tenant is the submitting tenant's name.
+	Tenant string
+	// Kind is the job kind ("sssp", "pagerank", ...).
+	Kind string
+	// Slack is the slack factor for a feasible deadline.
+	Slack float64
+	// Infeasible marks a deliberately un-meetable deadline;
+	// DeadlineScale (< 1) then scales the minimum feasible deadline.
+	Infeasible    bool
+	DeadlineScale float64
+}
+
+// Spec parameterises a stream.
+type Spec struct {
+	// Seed fully determines the stream.
+	Seed int64
+	// PerHour is the mean arrival rate (jobs per virtual hour).
+	PerHour float64
+	// Horizon is the stream length in virtual time.
+	Horizon time.Duration
+	// Tenants is the submitting mix (at least one required).
+	Tenants []Tenant
+	// Kinds cycles job kinds per arrival (defaults to sssp+pagerank).
+	Kinds []string
+}
+
+// Generate produces the stream, sorted by arrival offset. The output
+// is a pure function of the Spec.
+func (s Spec) Generate() ([]Arrival, error) {
+	if s.PerHour <= 0 {
+		return nil, fmt.Errorf("arrivals: PerHour must be positive, got %g", s.PerHour)
+	}
+	if s.Horizon <= 0 {
+		return nil, fmt.Errorf("arrivals: Horizon must be positive, got %s", s.Horizon)
+	}
+	if len(s.Tenants) == 0 {
+		return nil, fmt.Errorf("arrivals: at least one tenant required")
+	}
+	kinds := s.Kinds
+	if len(kinds) == 0 {
+		kinds = []string{"sssp", "pagerank"}
+	}
+	var totalWeight float64
+	weights := make([]float64, len(s.Tenants))
+	for i, t := range s.Tenants {
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		totalWeight += w
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	meanGap := float64(time.Hour) / s.PerHour
+	var out []Arrival
+	at := time.Duration(rng.ExpFloat64() * meanGap)
+	for at < s.Horizon {
+		// Weighted tenant draw.
+		pick := rng.Float64() * totalWeight
+		ti := 0
+		for i, w := range weights {
+			pick -= w
+			if pick < 0 {
+				ti = i
+				break
+			}
+		}
+		t := s.Tenants[ti]
+		a := Arrival{
+			At:     at,
+			Tenant: t.Name,
+			Kind:   kinds[len(out)%len(kinds)],
+			Slack:  t.SlackMin + rng.Float64()*(t.SlackMax-t.SlackMin),
+		}
+		if t.InfeasibleFraction > 0 && rng.Float64() < t.InfeasibleFraction {
+			a.Infeasible = true
+			// 40–90% of the minimum feasible deadline: clearly short,
+			// never borderline.
+			a.DeadlineScale = 0.4 + 0.5*rng.Float64()
+		}
+		out = append(out, a)
+		at += time.Duration(rng.ExpFloat64() * meanGap)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}

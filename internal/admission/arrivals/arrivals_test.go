@@ -1,0 +1,110 @@
+package arrivals
+
+import (
+	"testing"
+	"time"
+)
+
+func testSpec(seed int64) Spec {
+	return Spec{
+		Seed:    seed,
+		PerHour: 1200,
+		Horizon: time.Hour,
+		Tenants: []Tenant{
+			{Name: "team-a", Weight: 3, SlackMin: 0.5, SlackMax: 1.5},
+			{Name: "team-b", Weight: 2, SlackMin: 0.8, SlackMax: 2, InfeasibleFraction: 0.2},
+			{Name: "team-c", Weight: 1, SlackMin: 1, SlackMax: 3},
+		},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := testSpec(7).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSpec(7).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := testSpec(8).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	arr, err := testSpec(42).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson with mean 1200: the count should land well inside ±25%.
+	if len(arr) < 900 || len(arr) > 1500 {
+		t.Fatalf("arrival count %d far from the 1200/hour rate", len(arr))
+	}
+	tenants := map[string]int{}
+	infeasible := 0
+	for i, a := range arr {
+		if i > 0 && arr[i-1].At > a.At {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		if a.At < 0 || a.At >= time.Hour {
+			t.Fatalf("arrival %d outside horizon: %v", i, a.At)
+		}
+		tenants[a.Tenant]++
+		if a.Infeasible {
+			infeasible++
+			if a.Tenant != "team-b" {
+				t.Fatalf("infeasible arrival from %s (fraction 0 configured)", a.Tenant)
+			}
+			if a.DeadlineScale < 0.4 || a.DeadlineScale >= 0.9 {
+				t.Fatalf("deadline scale %f outside [0.4, 0.9)", a.DeadlineScale)
+			}
+		}
+		if a.Kind != "sssp" && a.Kind != "pagerank" {
+			t.Fatalf("unexpected kind %q", a.Kind)
+		}
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("tenants seen: %v, want all 3", tenants)
+	}
+	// Weighted 3:2:1 — the heaviest tenant should dominate the lightest.
+	if tenants["team-a"] <= tenants["team-c"] {
+		t.Errorf("weights not respected: %v", tenants)
+	}
+	if infeasible == 0 {
+		t.Error("no infeasible arrivals despite fraction 0.2")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := (Spec{PerHour: 0, Horizon: time.Hour, Tenants: []Tenant{{Name: "x"}}}).Generate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := (Spec{PerHour: 10, Horizon: 0, Tenants: []Tenant{{Name: "x"}}}).Generate(); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := (Spec{PerHour: 10, Horizon: time.Hour}).Generate(); err == nil {
+		t.Error("empty tenant mix accepted")
+	}
+}

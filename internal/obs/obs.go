@@ -67,6 +67,18 @@ type Event struct {
 	// Retry fields (EvRetry).
 	Attempts int    `json:"attempts,omitempty"`
 	Err      string `json:"err,omitempty"`
+
+	// Admission-control fields (EvAdmit/EvQueue/EvReject/EvPack/
+	// EvRelease). Tenant labels the submitting tenant; Deployment is
+	// the shared deployment a job was packed onto or released from;
+	// QueuePos is the 1-based wait-queue position at enqueue time;
+	// GapSec is how far an infeasible deadline falls short of the
+	// minimum feasible one. EvAdmit reuses DurSec for the queue wait
+	// of a promoted job (0 for jobs admitted immediately).
+	Tenant     string  `json:"tenant,omitempty"`
+	Deployment string  `json:"deployment,omitempty"`
+	QueuePos   int     `json:"queue_pos,omitempty"`
+	GapSec     float64 `json:"gap_s,omitempty"`
 }
 
 // Event types. The sim lifecycle mirrors Figure 2's execution flow;
@@ -85,6 +97,15 @@ const (
 	// EvShardEvict marks a distributed shard worker declared dead by
 	// the coordinator (connection loss or barrier-vote timeout).
 	EvShardEvict = "shard_evict"
+	// Admission-control lifecycle (internal/admission): a submission is
+	// admitted (and packed onto a deployment), parked in the wait
+	// queue, or rejected; a placed job releases its deployment share
+	// when it completes or is deleted.
+	EvAdmit   = "admit"
+	EvQueue   = "queue"
+	EvReject  = "reject"
+	EvPack    = "pack"
+	EvRelease = "release"
 )
 
 // Sink receives events. Implementations must be safe for concurrent

@@ -269,6 +269,24 @@ func (m *Model) FixedTime(job Job, c cloud.Config) units.Seconds {
 	return m.Boot(c) + m.LoadTime(job, c) + m.SaveTime(job, c)
 }
 
+// DeadlineUtilization is the share of a deployment's compute a job
+// needs to meet a relative deadline on it: exec/(deadline−fixed),
+// where exec is the full-job compute time on that deployment and
+// fixed its boot+load+save overhead. The admission layer bin-packs
+// these shares against unit capacity per deployment — the classic EDF
+// utilization bound: any set of jobs whose shares sum to ≤ 1 can be
+// time-multiplexed on one worker set with every deadline met. A share
+// above 1 (or a deadline inside the fixed overhead, reported as +Inf)
+// means the deployment cannot meet the deadline even running the job
+// alone.
+func DeadlineUtilization(exec, fixed, deadline units.Seconds) float64 {
+	den := float64(deadline - fixed)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return float64(exec) / den
+}
+
 // OfflinePartitionRuns is the number of offline partitioning passes
 // the loading strategy needs before the first execution: one per
 // distinct worker count for plain METIS, exactly one for

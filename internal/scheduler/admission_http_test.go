@@ -1,0 +1,254 @@
+package scheduler
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hourglass/internal/admission"
+	"hourglass/internal/cloud"
+	"hourglass/internal/units"
+)
+
+// estBackend is a stub backend with a deterministic market estimate:
+// required seconds and the per-job utilization share are fixed, so
+// admission outcomes are scripted by deadlines and pool sizing alone.
+type estBackend struct {
+	stubBackend
+	required float64
+	demand   float64
+}
+
+func (b *estBackend) Estimate(spec JobSpec, deadline, at units.Seconds) (admission.Estimate, error) {
+	return admission.Estimate{
+		DeadlineSeconds: float64(deadline),
+		RequiredSeconds: b.required,
+		ConfigID:        "od/r4.8xlarge x4",
+		Demand:          b.demand,
+	}, nil
+}
+
+// newGatedController builds a controller with the admission gate and
+// a short shutdown budget (blocked stub runs only unblock on cancel).
+func newGatedController(t *testing.T, b Backend, vc *VirtualClock, store cloud.BlobStore, cfg admission.Config) *Controller {
+	t.Helper()
+	c, err := New(Options{
+		Backend: b, Clock: vc, Workers: 2, Seed: 7,
+		Store: store, Admission: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+	})
+	return c
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func TestAdmissionHTTPSurface(t *testing.T) {
+	b := &estBackend{required: 500, demand: 1.0}
+	b.block = true // runs park, so seats stay held until DELETE
+	c := newGatedController(t, b, NewVirtualClock(epoch), nil, admission.Config{MaxDeployments: 1, QueueDepth: 1})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Admitted: 201 with the deployment in the body.
+	resp, body := postJob(t, srv, `{"id":"a","kind":"pagerank","strategy":"hourglass","slack":0.5,"period":"30m"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admit status = %d, want 201 (%v)", resp.StatusCode, body)
+	}
+	if body["deployment"] != "dep-0" {
+		t.Errorf("deployment = %v, want dep-0", body["deployment"])
+	}
+
+	// Queued: 202 with the queue position.
+	resp, body = postJob(t, srv, `{"id":"b","kind":"pagerank","strategy":"hourglass","slack":0.5,"period":"30m"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue status = %d, want 202 (%v)", resp.StatusCode, body)
+	}
+	if body["queued"] != true || body["queuePos"] != float64(1) {
+		t.Errorf("queued body = %v", body)
+	}
+
+	// Overflow: 429.
+	resp, body = postJob(t, srv, `{"id":"c","kind":"pagerank","strategy":"hourglass","slack":0.5,"period":"30m"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429 (%v)", resp.StatusCode, body)
+	}
+
+	// Infeasible deadline: 422 with the feasibility gap.
+	resp, body = postJob(t, srv, `{"id":"d","kind":"pagerank","strategy":"hourglass","slack":0.5,"period":"30m","deadline":300}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible status = %d, want 422 (%v)", resp.StatusCode, body)
+	}
+	if body["gapSeconds"] != float64(200) || body["requiredSeconds"] != float64(500) || body["deadlineSeconds"] != float64(300) {
+		t.Errorf("422 body = %v", body)
+	}
+
+	// Rejected submissions never enter the table.
+	if _, ok := c.Get("c"); ok {
+		t.Error("overflow-rejected job entered the table")
+	}
+	if _, ok := c.Get("d"); ok {
+		t.Error("infeasible job entered the table")
+	}
+
+	// Duplicate IDs still conflict ahead of admission.
+	resp, _ = postJob(t, srv, `{"id":"a","kind":"pagerank","strategy":"hourglass","slack":0.5,"period":"30m"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status = %d, want 409", resp.StatusCode)
+	}
+
+	// GET /admission exposes the gate.
+	gresp, err := http.Get(srv.URL + "/admission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view admission.View
+	if err := json.NewDecoder(gresp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if view.QueueDepth != 1 || len(view.Deployments) != 1 || view.Queue[0].JobID != "b" {
+		t.Errorf("admission view = %+v", view)
+	}
+
+	// /metrics carries the hourglass_admission_* section.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := c.metrics.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	for _, want := range []string{
+		admission.MetricQueueDepth + " 1",
+		admission.MetricDeploymentsLive + " 1",
+		`hourglass_admission_admitted_total{tenant="default"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Deleting the resident promotes the waiter.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/a", nil)
+	if dresp, err := http.DefaultClient.Do(req); err != nil || dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %v", dresp, err)
+	}
+	st, ok := c.Get("b")
+	if !ok || st.Queued || st.Deployment == "" {
+		t.Fatalf("waiter not promoted after delete: %+v", st)
+	}
+}
+
+func TestAdmissionViewDisabled(t *testing.T) {
+	c := newTestController(t, &stubBackend{}, NewVirtualClock(epoch), nil)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/admission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 when the gate is disabled", resp.StatusCode)
+	}
+}
+
+func TestAdmissionRequiresEstimator(t *testing.T) {
+	_, err := New(Options{
+		Backend:   &stubBackend{}, // no Estimate method
+		Clock:     NewVirtualClock(epoch),
+		Admission: &admission.Config{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Estimator") {
+		t.Fatalf("want Estimator requirement error, got %v", err)
+	}
+}
+
+func TestAdmissionSnapshotRoundTripsQueue(t *testing.T) {
+	store := cloud.NewDatastore()
+	vc := NewVirtualClock(epoch)
+	b := &estBackend{required: 500, demand: 1.0}
+	b.block = true
+	cfg := admission.Config{MaxDeployments: 1, QueueDepth: 4}
+
+	c1, err := New(Options{Backend: b, Clock: vc, Workers: 2, Seed: 7, Store: store, Admission: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Submit(JobSpec{ID: "a", Kind: "pagerank", Strategy: "hourglass", Slack: 0.5, Period: Duration(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	// b waits with the default deadline (1000s), c with a later
+	// explicit one (3000s) — EDF order b before c must survive the
+	// restart.
+	if st, err := c1.Submit(JobSpec{ID: "b", Kind: "pagerank", Strategy: "hourglass", Slack: 0.5, Period: Duration(time.Hour)}); err != nil || !st.Queued {
+		t.Fatalf("b: %+v %v", st, err)
+	}
+	if st, err := c1.Submit(JobSpec{ID: "c", Kind: "pagerank", Strategy: "hourglass", Slack: 0.5, Period: Duration(time.Hour), Deadline: Duration(3000 * time.Second)}); err != nil || !st.Queued || st.QueuePos != 2 {
+		t.Fatalf("c: %+v %v", st, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	if err := c1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	c2, err := New(Options{Backend: b, Clock: vc, Workers: 2, Seed: 7, Store: store, Admission: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		_ = c2.Shutdown(ctx)
+	})
+
+	if st, ok := c2.Get("a"); !ok || st.Queued || st.Deployment != "dep-0" {
+		t.Fatalf("restored resident a = %+v (ok=%v)", st, ok)
+	}
+	if st, ok := c2.Get("b"); !ok || !st.Queued || st.QueuePos != 1 {
+		t.Fatalf("restored waiter b = %+v (ok=%v)", st, ok)
+	}
+	if st, ok := c2.Get("c"); !ok || !st.Queued || st.QueuePos != 2 {
+		t.Fatalf("restored waiter c = %+v (ok=%v)", st, ok)
+	}
+	view, ok := c2.AdmissionView()
+	if !ok || view.QueueDepth != 2 || view.Queue[0].JobID != "b" || view.Queue[1].JobID != "c" {
+		t.Fatalf("restored view = %+v (ok=%v)", view, ok)
+	}
+
+	// The restored gate keeps working: releasing the resident promotes
+	// the earliest-deadline waiter, not the other one.
+	c2.Delete("a")
+	if st, _ := c2.Get("b"); st.Queued || st.Deployment == "" {
+		t.Fatalf("b not promoted after restore+delete: %+v", st)
+	}
+	if st, _ := c2.Get("c"); !st.Queued || c2.gate.Position("c") != 1 {
+		t.Fatalf("c should head the queue now: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hourglass"
+	"hourglass/internal/admission"
 	"hourglass/internal/cloud"
 	"hourglass/internal/obs"
 	"hourglass/internal/sim"
@@ -110,6 +111,12 @@ type Options struct {
 	// the same sink to the Backend to also capture the per-decision
 	// simulator stream.
 	Sink obs.Sink
+	// Admission, when set, enables the multi-tenant admission gate:
+	// submissions are priced against the market (the Backend must
+	// implement Estimator), packed onto shared deployments, queued
+	// when the pool is saturated, or rejected when infeasible. Nil
+	// disables the gate (every submission schedules immediately).
+	Admission *admission.Config
 	// Logf receives operational log lines (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -135,7 +142,9 @@ type Controller struct {
 	sink         obs.Sink
 	logf         func(string, ...any)
 
-	metrics *Metrics
+	metrics   *Metrics
+	gate      *admission.Gate // nil when admission is disabled
+	estimator Estimator       // set iff gate is set
 
 	mu   sync.Mutex
 	jobs map[string]*jobEntry
@@ -199,6 +208,15 @@ func New(opts Options) (*Controller, error) {
 		runCancel:    runCancel,
 	}
 	c.retry.Sink = opts.Sink
+	if opts.Admission != nil {
+		est, ok := opts.Backend.(Estimator)
+		if !ok {
+			runCancel()
+			return nil, fmt.Errorf("scheduler: Options.Admission requires a Backend implementing Estimator, got %T", opts.Backend)
+		}
+		c.estimator = est
+		c.gate = admission.NewGate(*opts.Admission, c.metrics.Registry, opts.Sink)
+	}
 	if c.store != nil && c.store.Exists(c.snapshotKey) {
 		if err := c.restore(); err != nil {
 			runCancel()
@@ -217,7 +235,12 @@ func New(opts Options) (*Controller, error) {
 func (c *Controller) Metrics() *Metrics { return c.metrics }
 
 // Submit admits a job spec, assigns an ID when absent, and schedules
-// its first recurrence immediately.
+// its first recurrence immediately. With the admission gate enabled,
+// the submission is priced against the market first: an infeasible
+// deadline returns *admission.InfeasibleError, a saturated pool and
+// full wait queue return admission.ErrQueueFull, and an accepted job
+// either starts (packed onto a shared deployment) or waits in the
+// queue (JobStatus.Queued).
 func (c *Controller) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
@@ -225,6 +248,9 @@ func (c *Controller) Submit(spec JobSpec) (JobStatus, error) {
 	deadline, horizon, baseline, err := c.backend.Admit(spec)
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if spec.Deadline > 0 {
+		deadline = units.FromDuration(time.Duration(spec.Deadline))
 	}
 	now := c.clock.Now()
 	c.mu.Lock()
@@ -243,25 +269,124 @@ func (c *Controller) Submit(spec JobSpec) (JobStatus, error) {
 		horizon:  horizon,
 		baseline: baseline,
 	}
+	if c.gate != nil {
+		// Withhold from the scheduling loop until the gate decides;
+		// the entry reserves the ID against concurrent submissions.
+		e.queued = true
+		e.queuedAt = now
+	}
 	c.jobs[spec.ID] = e
-	st := e.status()
+	st := c.statusLocked(e)
 	c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
 	c.mu.Unlock()
+
+	if c.gate != nil {
+		st, err = c.admit(e, spec, deadline, horizon, now)
+		if err != nil {
+			return JobStatus{}, err
+		}
+	}
 	c.metrics.Inc(MetricJobsSubmitted)
-	c.logf("scheduler: submitted %s (%s/%s slack=%.2f period=%v runs=%d)",
-		spec.ID, spec.Kind, spec.Strategy, spec.Slack, time.Duration(spec.Period), spec.Runs)
+	c.logf("scheduler: submitted %s (%s/%s tenant=%s slack=%.2f period=%v runs=%d)",
+		spec.ID, spec.Kind, spec.Strategy, spec.TenantOrDefault(), spec.Slack, time.Duration(spec.Period), spec.Runs)
 	c.kick()
 	return st, nil
+}
+
+// admit runs the gate for a freshly inserted (withheld) entry: price
+// the submission at its first recurrence's trace offset, then place,
+// queue, or reject it. The placeholder entry is removed on rejection.
+func (c *Controller) admit(e *jobEntry, spec JobSpec, deadline, horizon units.Seconds, now time.Time) (JobStatus, error) {
+	wallStart := time.Now()
+	est, err := c.estimator.Estimate(spec, deadline, offsetFor(c.seed, spec.ID, 0, horizon))
+	var out admission.Outcome
+	if err == nil {
+		out, err = c.gate.Submit(admission.Request{
+			JobID:  spec.ID,
+			Tenant: spec.TenantOrDefault(),
+			Est:    est,
+			Now:    now,
+		})
+	}
+	c.gate.ObserveDecision(time.Since(wallStart).Seconds())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if cur, ok := c.jobs[spec.ID]; ok && cur == e {
+			delete(c.jobs, spec.ID)
+			c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
+		}
+		c.logf("scheduler: rejected %s (tenant=%s): %v", spec.ID, spec.TenantOrDefault(), err)
+		return JobStatus{}, err
+	}
+	// The entry may have been deleted while the gate deliberated; the
+	// gate's seat (or queue slot) is then released again.
+	cur, ok := c.jobs[spec.ID]
+	if !ok || cur != e {
+		promos := c.gate.Release(spec.ID, now)
+		c.activatePromotionsLocked(promos, now)
+		return JobStatus{}, fmt.Errorf("job %q deleted during admission", spec.ID)
+	}
+	e.packConfig = est.ConfigID
+	e.demand = est.Demand
+	if out.Queued {
+		c.logf("scheduler: queued %s (tenant=%s, position %d)", spec.ID, spec.TenantOrDefault(), out.QueuePos)
+	} else {
+		e.queued = false
+		e.deployment = out.Deployment
+		e.nextRun = now
+	}
+	return c.statusLocked(e), nil
+}
+
+// activatePromotionsLocked wakes queued entries the gate promoted
+// during a Release. Callers hold c.mu and must kick the loop after
+// unlocking.
+func (c *Controller) activatePromotionsLocked(promos []admission.Promotion, now time.Time) {
+	for _, p := range promos {
+		e, ok := c.jobs[p.JobID]
+		if !ok || !e.queued {
+			continue
+		}
+		e.queued = false
+		e.deployment = p.Deployment
+		e.nextRun = now
+		c.logf("scheduler: promoted %s onto %s after %.0fs in queue", p.JobID, p.Deployment, p.WaitSeconds)
+	}
+}
+
+// statusLocked builds a JobStatus with admission context; callers
+// hold c.mu (the gate's lock is a leaf, so nesting is safe).
+func (c *Controller) statusLocked(e *jobEntry) JobStatus {
+	st := e.status()
+	if e.queued && c.gate != nil {
+		st.QueuePos = c.gate.Position(e.spec.ID)
+	}
+	return st
+}
+
+// AdmissionView returns the gate's introspection snapshot; ok is
+// false when admission is disabled.
+func (c *Controller) AdmissionView() (admission.View, bool) {
+	if c.gate == nil {
+		return admission.View{}, false
+	}
+	return c.gate.Snapshot(), true
 }
 
 // Delete removes a job. In-flight recurrences finish but are
 // discarded on completion; pending ones are skipped.
 func (c *Controller) Delete(id string) bool {
+	now := c.clock.Now()
 	c.mu.Lock()
 	e, ok := c.jobs[id]
 	if ok {
 		e.cancelled = true
 		delete(c.jobs, id)
+		if c.gate != nil {
+			promos := c.gate.Release(id, now)
+			c.activatePromotionsLocked(promos, now)
+		}
 		c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
 	}
 	c.mu.Unlock()
@@ -281,7 +406,7 @@ func (c *Controller) Get(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return e.status(), true
+	return c.statusLocked(e), true
 }
 
 // List returns every job's status, ordered by ID.
@@ -290,7 +415,7 @@ func (c *Controller) List() []JobStatus {
 	defer c.mu.Unlock()
 	out := make([]JobStatus, 0, len(c.jobs))
 	for _, e := range c.jobs {
-		out = append(out, e.status())
+		out = append(out, c.statusLocked(e))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
 	return out
@@ -394,6 +519,10 @@ func (c *Controller) collectDue() (due []task, next time.Time, hasNext bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.jobs {
+		if e.queued {
+			// Waiting for admission capacity; promotion resets nextRun.
+			continue
+		}
 		for !e.cancelled && !e.exhausted() && !e.nextRun.After(now) {
 			due = append(due, task{id: e.spec.ID, index: e.dispatched, scheduledAt: e.nextRun})
 			e.dispatched++
@@ -495,10 +624,15 @@ func (c *Controller) execute(t task) {
 		c.sink.Emit(ev)
 	}
 
+	if c.gate != nil {
+		c.gate.ObserveCost(spec.TenantOrDefault(), rec.Cost)
+	}
+
+	promoted := false
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok = c.jobs[t.id] // the job may have been deleted mid-run
 	if !ok || e.cancelled {
+		c.mu.Unlock()
 		return
 	}
 	e.completed++
@@ -511,5 +645,17 @@ func (c *Controller) execute(t task) {
 		c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
 		c.logf("scheduler: %s completed all %d runs (norm cost %.2f×OD, %d missed)",
 			t.id, e.completed, e.agg.MeanNormCost, e.agg.Missed)
+		if c.gate != nil {
+			// The finished job frees its deployment share; waiters with
+			// capacity now get their first recurrence scheduled.
+			now := c.clock.Now()
+			promos := c.gate.Release(t.id, now)
+			c.activatePromotionsLocked(promos, now)
+			promoted = len(promos) > 0
+		}
+	}
+	c.mu.Unlock()
+	if promoted {
+		c.kick()
 	}
 }

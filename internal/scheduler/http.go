@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"hourglass/internal/admission"
 	"hourglass/internal/obs"
 )
 
@@ -16,10 +17,16 @@ import (
 //	GET    /jobs/{id}         one job's status
 //	DELETE /jobs/{id}         remove a job
 //	GET    /jobs/{id}/history the job's run records
+//	GET    /admission         admission gate state (404 when disabled)
 //	GET    /healthz           liveness probe
 //	GET    /metrics           Prometheus text exposition
 //	GET    /debug/trace       recent trace events (JSONL), newest last
 //	GET    /debug/pprof/*     standard pprof profiles
+//
+// With the admission gate enabled, POST /jobs answers 201 for an
+// admitted job, 202 for one parked in the wait queue (queuePos in the
+// body), 422 for an infeasible deadline (feasibility gap in the
+// body), and 429 when both the pool and the queue are full.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", c.handleSubmit)
@@ -27,6 +34,7 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", c.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", c.handleDelete)
 	mux.HandleFunc("GET /jobs/{id}/history", c.handleHistory)
+	mux.HandleFunc("GET /admission", c.handleAdmission)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", c.handleTrace)
@@ -60,14 +68,38 @@ func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := c.Submit(spec)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrJobExists) {
-			code = http.StatusConflict
+		var inf *admission.InfeasibleError
+		switch {
+		case errors.As(err, &inf):
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":           inf.Error(),
+				"gapSeconds":      inf.GapSeconds(),
+				"deadlineSeconds": inf.DeadlineSeconds,
+				"requiredSeconds": inf.RequiredSeconds,
+			})
+		case errors.Is(err, admission.ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrJobExists):
+			writeError(w, http.StatusConflict, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
 		}
-		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, st)
+	code := http.StatusCreated
+	if st.Queued {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Controller) handleAdmission(w http.ResponseWriter, _ *http.Request) {
+	view, ok := c.AdmissionView()
+	if !ok {
+		http.Error(w, "admission gate is not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (c *Controller) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -54,10 +54,27 @@ type JobSpec struct {
 	// Slack is the §8.2 slack fraction: deadline = fixed + exec +
 	// slack·exec.
 	Slack float64 `json:"slack"`
+	// Deadline, when positive, overrides the slack-derived relative
+	// deadline. Slack-derived deadlines are feasible by construction;
+	// an explicit one may undercut the last-resort bound, which the
+	// admission gate rejects with 422.
+	Deadline Duration `json:"deadline,omitempty"`
 	// Period separates consecutive recurrence starts.
 	Period Duration `json:"period"`
 	// Runs bounds the total recurrences (0 = unbounded).
 	Runs int `json:"runs,omitempty"`
+	// Tenant attributes the job for multi-tenant admission accounting
+	// ("" = "default").
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// TenantOrDefault returns the tenant label, defaulting untagged jobs
+// into one shared bucket.
+func (s JobSpec) TenantOrDefault() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
 }
 
 // Validate admission-checks a spec so nothing invalid ever reaches
@@ -71,6 +88,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Slack < 0 {
 		return fmt.Errorf("scheduler: negative slack %v", s.Slack)
+	}
+	if s.Deadline < 0 {
+		return fmt.Errorf("scheduler: negative deadline %v", time.Duration(s.Deadline))
 	}
 	if s.Period <= 0 {
 		return fmt.Errorf("scheduler: period must be positive, got %v", time.Duration(s.Period))
@@ -147,6 +167,12 @@ type JobStatus struct {
 	// slack fraction resolves to.
 	DeadlineSeconds float64 `json:"deadlineSeconds"`
 	HistoryLen      int     `json:"historyLen"`
+	// Queued reports the job is parked in the admission wait queue
+	// (not yet scheduled); QueuePos is its 1-based EDF position.
+	Queued   bool `json:"queued,omitempty"`
+	QueuePos int  `json:"queuePos,omitempty"`
+	// Deployment names the shared deployment the job is packed onto.
+	Deployment string `json:"deployment,omitempty"`
 }
 
 // jobEntry is the controller's internal state for one job.
@@ -163,6 +189,15 @@ type jobEntry struct {
 	cancelled  bool
 	history    []RunRecord
 	agg        Aggregates
+
+	// Admission state (zero when the gate is disabled): a queued job
+	// is withheld from collectDue until promoted; a placed one records
+	// its deployment and the packing class/share for snapshot restore.
+	queued     bool
+	queuedAt   time.Time
+	deployment string
+	packConfig string
+	demand     float64
 }
 
 // exhausted reports whether every bounded recurrence has been
@@ -186,8 +221,10 @@ func (e *jobEntry) status() JobStatus {
 		Agg:             e.agg,
 		DeadlineSeconds: float64(e.deadline),
 		HistoryLen:      len(e.history),
+		Queued:          e.queued,
+		Deployment:      e.deployment,
 	}
-	if !e.cancelled && !e.exhausted() {
+	if !e.cancelled && !e.exhausted() && !e.queued {
 		next := e.nextRun
 		st.NextRun = &next
 	}

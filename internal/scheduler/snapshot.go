@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"time"
+
+	"hourglass/internal/admission"
+	"hourglass/internal/units"
 )
 
 // snapshotState is the JSON document persisted to the datastore: the
@@ -27,6 +30,15 @@ type snapshotJob struct {
 	Completed int         `json:"completed"`
 	History   []RunRecord `json:"history"`
 	Agg       Aggregates  `json:"aggregates"`
+	// Admission state: a queued job re-enters the wait queue at its
+	// original enqueue time, a placed one is reseated onto its named
+	// deployment (same packing class and share), so a restart neither
+	// re-prices nor re-packs what was already admitted.
+	Queued     bool      `json:"queued,omitempty"`
+	QueuedAt   time.Time `json:"queuedAt,omitempty"`
+	Deployment string    `json:"deployment,omitempty"`
+	PackConfig string    `json:"packConfig,omitempty"`
+	Demand     float64   `json:"demand,omitempty"`
 }
 
 // snapshotEnvelope wraps the state document with a CRC32 (IEEE)
@@ -99,12 +111,17 @@ func (c *Controller) Snapshot() error {
 		pending := e.dispatched - e.completed
 		nextRun := e.nextRun.Add(-time.Duration(pending) * time.Duration(e.spec.Period))
 		state.Jobs = append(state.Jobs, snapshotJob{
-			Spec:      e.spec,
-			Created:   e.created,
-			NextRun:   nextRun,
-			Completed: e.completed,
-			History:   append([]RunRecord(nil), e.history...),
-			Agg:       e.agg,
+			Spec:       e.spec,
+			Created:    e.created,
+			NextRun:    nextRun,
+			Completed:  e.completed,
+			History:    append([]RunRecord(nil), e.history...),
+			Agg:        e.agg,
+			Queued:     e.queued,
+			QueuedAt:   e.queuedAt,
+			Deployment: e.deployment,
+			PackConfig: e.packConfig,
+			Demand:     e.demand,
 		})
 	}
 	c.mu.Unlock()
@@ -164,7 +181,10 @@ func (c *Controller) restore() error {
 		if err != nil {
 			return fmt.Errorf("re-admitting %s: %w", sj.Spec.ID, err)
 		}
-		c.jobs[sj.Spec.ID] = &jobEntry{
+		if sj.Spec.Deadline > 0 {
+			deadline = units.FromDuration(time.Duration(sj.Spec.Deadline))
+		}
+		e := &jobEntry{
 			spec:       sj.Spec,
 			created:    sj.Created,
 			nextRun:    sj.NextRun,
@@ -175,7 +195,27 @@ func (c *Controller) restore() error {
 			completed:  sj.Completed,
 			history:    sj.History,
 			agg:        sj.Agg,
+			deployment: sj.Deployment,
+			packConfig: sj.PackConfig,
+			demand:     sj.Demand,
 		}
+		if c.gate != nil {
+			switch {
+			case sj.Queued:
+				e.queued = true
+				e.queuedAt = sj.QueuedAt
+				c.gate.Requeue(sj.Spec.ID, sj.Spec.TenantOrDefault(), admission.Estimate{
+					DeadlineSeconds: float64(deadline),
+					ConfigID:        sj.PackConfig,
+					Demand:          sj.Demand,
+				}, sj.QueuedAt)
+			case sj.Deployment != "":
+				c.gate.Reseat(sj.Spec.ID, sj.PackConfig, sj.Deployment, sj.Demand)
+			}
+			// A pre-admission snapshot entry (no deployment, not queued)
+			// keeps running unpacked; Release tolerates it.
+		}
+		c.jobs[sj.Spec.ID] = e
 	}
 	c.metrics.SetGauge(MetricJobsActive, float64(c.activeLocked()))
 	c.logf("scheduler: restored %d jobs from %s (saved %v)",

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local mirror of the CI lint job: run before pushing to catch what
+# the required checks would bounce. Go checks always run; staticcheck,
+# shellcheck and actionlint run when installed and are skipped (with a
+# note) otherwise — CI installs pinned versions of all three.
+#
+#   scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt" >&2
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet" >&2
+go vet ./... || fail=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck" >&2
+  staticcheck ./... || fail=1
+else
+  echo "== staticcheck: not installed, skipped (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)" >&2
+fi
+
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck scripts/*.sh" >&2
+  shellcheck scripts/*.sh || fail=1
+else
+  echo "== shellcheck: not installed, skipped" >&2
+fi
+
+if command -v actionlint >/dev/null 2>&1; then
+  echo "== actionlint" >&2
+  actionlint || fail=1
+else
+  echo "== actionlint: not installed, skipped (go install github.com/rhysd/actionlint/cmd/actionlint@v1.7.7)" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: ok" >&2
