@@ -62,6 +62,8 @@ func main() {
 	distShards := flag.Int("dist-shards", 4, "shard workers per recurrence (dist backend)")
 	distStore := flag.String("dist-store", "", "checkpoint blob directory for shard state (dist backend; empty = in-memory)")
 	distKillAt := flag.Int("dist-kill-at", 0, "chaos: kill one shard mid-superstep N on every recurrence's first session (dist backend)")
+	distDeltaChain := flag.Int("dist-delta-chain", 0, "delta checkpoints per full checkpoint, 0 = always full (dist backend)")
+	distBarrier := flag.Duration("dist-barrier-timeout", 0, "coordinator barrier watchdog window, 0 = 30s (dist backend)")
 	engineScale := flag.Int("engine-graph-scale", 10, "RMAT scale of the benchmark graph (engine backend)")
 	engineWatchdog := flag.Duration("engine-watchdog", 30*time.Second, "wall-clock budget per superstep before a wedged run is reloaded (engine backend)")
 	engineRestarts := flag.Int("engine-restart-budget", 8, "restarts before the last-resort on-demand pin (engine backend)")
@@ -173,11 +175,13 @@ func main() {
 			Sink:            sink,
 			Shards:          *distShards,
 			GraphScale:      *engineScale,
+			BarrierTimeout:  *distBarrier,
+			DeltaChain:      *distDeltaChain,
 			KillAtSuperstep: *distKillAt,
 			Logf:            log.Printf,
 		}
-		log.Printf("dist backend: %d shards, graph scale %d, store %q",
-			*distShards, *engineScale, *distStore)
+		log.Printf("dist backend: %d shards, graph scale %d, delta chain %d, store %q",
+			*distShards, *engineScale, *distDeltaChain, *distStore)
 	default:
 		log.Fatalf("unknown -backend %q (want sim, engine or dist)", *backendName)
 	}

@@ -46,6 +46,7 @@ func main() {
 	dieAt := flag.Int("die-at", 0, "worker fault injection: drop the connection mid-superstep N (0 = never)")
 	muteAt := flag.Int("mute-at", 0, "worker fault injection: stop voting at superstep N (0 = never)")
 	dropPeersAt := flag.Int("drop-peers-at", 0, "worker fault injection: sever the peer-mesh connections mid-superstep N (0 = never)")
+	prefetchJob := flag.String("prefetch-job", "", "worker: warm the blob cache with this job's newest checkpoint chain before the handshake (warm standby)")
 
 	coordinate := flag.Bool("coordinate", false, "run as the coordinator instead of a worker")
 	shards := flag.Int("shards", 2, "coordinator: shard workers to accept")
@@ -55,6 +56,8 @@ func main() {
 	scale := flag.Int("scale", 10, "coordinator: RMAT graph scale (2^scale vertices)")
 	graphSeed := flag.Int64("graph-seed", 7, "coordinator: RMAT graph seed")
 	ckptEvery := flag.Int("checkpoint-every", 2, "coordinator: checkpoint every N supersteps (0 = never)")
+	deltaChain := flag.Int("delta-chain", 0, "coordinator: delta checkpoints per full checkpoint (0 = always full)")
+	barrierTimeout := flag.Duration("barrier-timeout", 0, "coordinator: barrier watchdog window (0 = dist default)")
 	job := flag.String("job", "cli", "coordinator: checkpoint namespace under the store")
 	maxSessions := flag.Int("max-sessions", 8, "coordinator: give up after this many lost-shard sessions")
 	flag.Parse()
@@ -88,6 +91,8 @@ func main() {
 			Graph:           dist.GraphSpec{Scale: *scale, Seed: *graphSeed, Undirected: true, Weighted: true},
 			Canonical:       true,
 			CheckpointEvery: *ckptEvery,
+			DeltaChain:      *deltaChain,
+			BarrierTimeout:  *barrierTimeout,
 			Store:           store,
 			Logf:            log.Printf,
 		}
@@ -125,6 +130,7 @@ func main() {
 		DieAtSuperstep:       *dieAt,
 		MuteAtSuperstep:      *muteAt,
 		DropPeersAtSuperstep: *dropPeersAt,
+		PrefetchJob:          *prefetchJob,
 		Logf:                 log.Printf,
 	}
 	if *once {

@@ -1,10 +1,12 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hourglass/internal/obs"
 	"hourglass/internal/units"
@@ -103,6 +105,53 @@ func (r *Retrier) Do(op func() error) (units.Seconds, error) {
 		r.mu.Unlock()
 		delay += units.Seconds(float64(backoff) * (1 - r.policy.Jitter + r.policy.Jitter*u))
 		backoff = units.Seconds(float64(backoff) * r.policy.Factor)
+	}
+	r.report(tries, delay, err)
+	return delay, err
+}
+
+// DoCtx is the wall-clock sibling of Do for operations talking to real
+// endpoints (peer dials, live HTTP): the same policy, attempt budget,
+// jitter stream and trace reporting, but each backoff actually sleeps,
+// interruptible by ctx. Policy seconds are interpreted as wall seconds.
+// It returns the backoff slept across retries and the last error; a
+// cancelled wait returns ctx.Err() without burning further attempts.
+func (r *Retrier) DoCtx(ctx context.Context, op func() error) (units.Seconds, error) {
+	var delay units.Seconds
+	backoff := r.policy.Base
+	var err error
+	tries := 0
+	for attempt := 0; attempt < r.policy.Attempts; attempt++ {
+		tries++
+		r.attempts.Add(1)
+		if attempt > 0 {
+			r.retried.Add(1)
+		}
+		if err = op(); err == nil {
+			r.report(tries, delay, nil)
+			return delay, nil
+		}
+		if errors.Is(err, ErrNotFound) || ctx.Err() != nil {
+			r.report(tries, delay, err)
+			return delay, err
+		}
+		if attempt == r.policy.Attempts-1 {
+			break
+		}
+		r.mu.Lock()
+		u := r.rng.Float64()
+		r.mu.Unlock()
+		wait := units.Seconds(float64(backoff) * (1 - r.policy.Jitter + r.policy.Jitter*u))
+		backoff = units.Seconds(float64(backoff) * r.policy.Factor)
+		t := time.NewTimer(time.Duration(float64(wait) * float64(time.Second)))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			r.report(tries, delay, err)
+			return delay, ctx.Err()
+		case <-t.C:
+		}
+		delay += wait
 	}
 	r.report(tries, delay, err)
 	return delay, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hourglass/internal/cloud"
+	"hourglass/internal/obs"
 )
 
 // BenchmarkEngineMessagePlaneDist is the loopback-TCP twin of
@@ -53,5 +54,67 @@ func BenchmarkEngineMessagePlaneDist(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCheckpointPlaneDist measures the checkpoint plane at
+// every-superstep cadence with an 8-deep delta chain: how many bytes a
+// full snapshot costs versus a parent-linked delta. PageRank is the
+// worst case (every vertex value changes every iteration, so a delta
+// carries the whole state); WCC converges, so its deltas must stay
+// materially below the fulls — the benchmark enforces that floor
+// itself, and the recorded numbers feed BENCH_ENGINE.json
+// (scripts/bench_engine.sh gates both against regression).
+func BenchmarkCheckpointPlaneDist(b *testing.B) {
+	gspec := GraphSpec{Scale: 12, Seed: 42, Undirected: true, Weighted: true}
+	cases := []struct {
+		pspec     ProgramSpec
+		canonical bool
+	}{
+		{ProgramSpec{Name: "pagerank", Iterations: 10}, true},
+		{ProgramSpec{Name: "wcc"}, false},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("%s/shards=4", tc.pspec.Name), func(b *testing.B) {
+			b.ReportAllocs()
+			var supersteps, fullBytes, deltaBytes, fulls, deltas int64
+			for i := 0; i < b.N; i++ {
+				sink := &captureSink{}
+				rep, err := RunCluster(context.Background(), Config{
+					Job:             fmt.Sprintf("bench-ckpt-%s", tc.pspec.Name),
+					Program:         tc.pspec,
+					Graph:           gspec,
+					Canonical:       tc.canonical,
+					CheckpointEvery: 1,
+					DeltaChain:      8,
+					Store:           cloud.NewDatastore(),
+					Sink:            sink,
+				}, 4, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				supersteps += int64(rep.Stats.Supersteps)
+				for _, e := range sink.byType(obs.EvCheckpoint) {
+					if e.Chain == 0 {
+						fullBytes += e.WireBytes
+						fulls++
+					} else {
+						deltaBytes += e.WireBytes
+						deltas++
+					}
+				}
+			}
+			if fulls == 0 || deltas == 0 {
+				b.Fatalf("checkpoint mix fulls=%d deltas=%d, want both", fulls, deltas)
+			}
+			avgFull := fullBytes / fulls
+			avgDelta := deltaBytes / deltas
+			if tc.pspec.Name == "wcc" && avgDelta*2 >= avgFull {
+				b.Fatalf("wcc avg delta %dB not materially below avg full %dB", avgDelta, avgFull)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(supersteps), "ns/superstep")
+			b.ReportMetric(float64(avgFull), "fullbytes/ckpt")
+			b.ReportMetric(float64(avgDelta), "deltabytes/ckpt")
+		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"strings"
+	"sync"
 
 	"hourglass/internal/cloud"
 )
@@ -30,6 +31,20 @@ import (
 // is detected and the coordinator falls back to the next-older
 // manifest whose whole blob set validates, mirroring
 // engine.CheckpointManager's fallback scan.
+//
+// Delta chains (§9 warm standby): a manifest may be a *delta* —
+// Parent names the parent manifest's superstep and ParentCRC pins the
+// exact parent payload, its shard blobs encode only vertices whose
+// value/activity/aux changed since that parent (the pending inbox is
+// always complete: it is the resume superstep's live message state and
+// has no stable identity to diff against). Restoring a delta resolves
+// the chain back to its full root and overlays blob sets oldest-first;
+// because the root is always full and overlays are newest-wins per
+// vertex, mixed full/delta blobs — and reshards mid-chain — restore
+// bit-identically. Chain depth is bounded (Config.DeltaChain forces a
+// periodic full), and a corrupt link anywhere invalidates the whole
+// candidate so the fallback scan lands on the newest manifest whose
+// entire chain validates.
 
 // distMagic seals dist checkpoint objects ("HGDS").
 const distMagic = uint32(0x48474453)
@@ -89,9 +104,17 @@ func shardBlobKey(job string, superstep, shard int) string {
 // superstep the blob resumes into, and — for engine.VertexAux
 // programs — each owned vertex's auxiliary state so a resume (possibly
 // under a different shard count) overlays them onto a fresh InitAux.
+//
+// A delta blob (Full=false) carries only owned vertices whose
+// value/activity/aux changed since the parent manifest at superstep
+// Parent; the pending section is always complete for the resume
+// superstep. Restores overlay blobs chain-oldest-first, so absent
+// vertices inherit ancestor state.
 type shardBlob struct {
 	Superstep int
 	Shard     int
+	Full      bool
+	Parent    int // parent manifest superstep; meaningful when !Full
 	Vertex    []int32
 	Value     []float64
 	Active    []bool
@@ -105,6 +128,8 @@ func (b *shardBlob) encode() []byte {
 	var w wbuf
 	w.u32(uint32(b.Superstep))
 	w.u32(uint32(b.Shard))
+	w.bool(b.Full)
+	w.u32(uint32(b.Parent))
 	w.u32(uint32(len(b.Vertex)))
 	for i, v := range b.Vertex {
 		w.u32(uint32(v))
@@ -132,6 +157,8 @@ func decodeShardBlob(blob []byte) (*shardBlob, error) {
 	}
 	r := rbuf{b: payload}
 	b := &shardBlob{Superstep: int(r.u32()), Shard: int(r.u32())}
+	b.Full = r.bool()
+	b.Parent = int(r.u32())
 	n := r.u32()
 	if r.err != nil || int(n) > r.remaining()/13+1 {
 		return nil, fmt.Errorf("%w: vertex count", ErrCorruptObject)
@@ -178,10 +205,18 @@ func decodeShardBlob(blob []byte) (*shardBlob, error) {
 	return b, nil
 }
 
+// maxChainDepth bounds parent-link walks during recovery so a cyclic
+// or absurdly deep chain (corruption, a bug) fails fast instead of
+// looping; Config.DeltaChain keeps real chains far shorter.
+const maxChainDepth = 64
+
 // manifest seals one complete checkpoint: which blobs belong to it and
 // the aggregator values visible at the resume superstep. Job/program/
 // graph specs are embedded so a resuming coordinator can verify it is
-// restoring the same computation.
+// restoring the same computation. A delta manifest (Parent >= 0) links
+// to its parent by superstep and pins the exact parent payload with
+// ParentCRC (the parent's seal CRC); Chain is its distance from the
+// full root.
 type manifest struct {
 	Job       string
 	Superstep int
@@ -191,6 +226,18 @@ type manifest struct {
 	Canonical bool
 	Aggs      aggPairs
 	BlobKeys  []string
+	Parent    int // parent manifest superstep; -1 = full root
+	Chain     int // delta depth from the full root (0 = full)
+	ParentCRC uint32
+
+	// selfCRC is the CRC32 of this manifest's sealed payload — the value
+	// a child's ParentCRC must match. Set by encodeSealed/decodeManifest,
+	// never serialized.
+	selfCRC uint32
+	// chainKeys is the resolved restore list — every chain blob key,
+	// oldest manifest first — populated by loadManifest. For a full
+	// manifest it equals BlobKeys.
+	chainKeys []string
 }
 
 func (m *manifest) encode() []byte {
@@ -206,7 +253,18 @@ func (m *manifest) encode() []byte {
 	for _, k := range m.BlobKeys {
 		w.str(k)
 	}
+	w.u32(uint32(m.Parent + 1)) // 0 = full root
+	w.u32(uint32(m.Chain))
+	w.u32(m.ParentCRC)
 	return seal(w.b)
+}
+
+// encodeSealed encodes the manifest and reports the seal CRC a child
+// delta must carry as ParentCRC (also recorded in m.selfCRC).
+func (m *manifest) encodeSealed() []byte {
+	blob := m.encode()
+	m.selfCRC = binary.LittleEndian.Uint32(blob[len(blob)-4:])
+	return blob
 }
 
 func decodeManifest(blob []byte) (*manifest, error) {
@@ -232,17 +290,67 @@ func decodeManifest(blob []byte) (*manifest, error) {
 	for i := uint32(0); i < nk && r.err == nil; i++ {
 		m.BlobKeys = append(m.BlobKeys, r.str())
 	}
+	m.Parent = int(r.u32()) - 1
+	m.Chain = int(r.u32())
+	m.ParentCRC = r.u32()
 	if err := r.finish(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptObject, err)
 	}
+	if m.Parent >= 0 && (m.Parent >= m.Superstep || m.Chain < 1 || m.Chain > maxChainDepth) {
+		return nil, fmt.Errorf("%w: inconsistent chain link (parent %d, chain %d)", ErrCorruptObject, m.Parent, m.Chain)
+	}
+	if m.Parent < 0 && m.Chain != 0 {
+		return nil, fmt.Errorf("%w: full manifest with chain depth %d", ErrCorruptObject, m.Chain)
+	}
+	m.selfCRC = crc32.ChecksumIEEE(payload)
 	return m, nil
 }
 
 // loadManifest fetches and validates one manifest AND every blob it
-// references (existence + CRC + per-blob structure). The coordinator
-// pays this extra read so a resuming session never welcomes shards
-// with a manifest whose blob set cannot actually restore.
+// references (existence + CRC + per-blob structure), then — for a
+// delta — resolves and validates the whole parent chain the same way,
+// checking each link's ParentCRC against the actual parent payload.
+// The coordinator pays this extra read so a resuming session never
+// welcomes shards with a manifest whose blob set cannot actually
+// restore; m.chainKeys comes back ready to hand out (chain blob keys,
+// oldest manifest first).
 func loadManifest(store cloud.BlobStore, key string) (*manifest, error) {
+	m, err := loadOneManifest(store, key)
+	if err != nil {
+		return nil, err
+	}
+	chain := []*manifest{m}
+	child := m
+	for child.Parent >= 0 {
+		if len(chain) > maxChainDepth {
+			return nil, fmt.Errorf("%w: manifest chain deeper than %d", ErrCorruptObject, maxChainDepth)
+		}
+		pkey := manifestKey(child.Job, child.Parent)
+		p, err := loadOneManifest(store, pkey)
+		if err != nil {
+			return nil, fmt.Errorf("dist: manifest %q chain parent %q: %w", key, pkey, err)
+		}
+		if p.selfCRC != child.ParentCRC {
+			return nil, fmt.Errorf("%w: manifest %q parent CRC %08x != %08x", ErrCorruptObject, pkey, p.selfCRC, child.ParentCRC)
+		}
+		chain = append(chain, p)
+		child = p
+	}
+	if root := chain[len(chain)-1]; root.Parent >= 0 || root.Chain != 0 {
+		return nil, fmt.Errorf("%w: manifest chain for %q has no full root", ErrCorruptObject, key)
+	}
+	m.chainKeys = nil
+	for i := len(chain) - 1; i >= 0; i-- {
+		m.chainKeys = append(m.chainKeys, chain[i].BlobKeys...)
+	}
+	return m, nil
+}
+
+// loadOneManifest fetches and validates a single manifest and its own
+// blob set, without chain resolution. Blob validation runs in parallel:
+// chained restores touch many blobs and the standby path is latency-
+// sensitive inside the warning window.
+func loadOneManifest(store cloud.BlobStore, key string) (*manifest, error) {
 	blob, _, err := store.Get(key)
 	if err != nil {
 		return nil, err
@@ -251,13 +359,26 @@ func loadManifest(store cloud.BlobStore, key string) (*manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, bk := range m.BlobKeys {
-		data, _, err := store.Get(bk)
+	errs := make([]error, len(m.BlobKeys))
+	var wg sync.WaitGroup
+	for i, bk := range m.BlobKeys {
+		wg.Add(1)
+		go func(i int, bk string) {
+			defer wg.Done()
+			data, _, err := store.Get(bk)
+			if err != nil {
+				errs[i] = fmt.Errorf("dist: manifest %q references unreadable blob %q: %w", key, bk, err)
+				return
+			}
+			if _, err := decodeShardBlob(data); err != nil {
+				errs[i] = fmt.Errorf("dist: manifest %q references corrupt blob %q: %w", key, bk, err)
+			}
+		}(i, bk)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("dist: manifest %q references unreadable blob %q: %w", key, bk, err)
-		}
-		if _, err := decodeShardBlob(data); err != nil {
-			return nil, fmt.Errorf("dist: manifest %q references corrupt blob %q: %w", key, bk, err)
+			return nil, err
 		}
 	}
 	return m, nil

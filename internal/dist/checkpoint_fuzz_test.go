@@ -1,0 +1,102 @@
+package dist
+
+// Checkpoint-object fuzzing: delta blobs and chained manifests come
+// back from a blob store the coordinator does not control, so both
+// decoders must be panic-free and over-read-free on arbitrary bytes.
+// Valid seeds double as round-trip regressions: whatever decodes from
+// a freshly encoded object must re-encode to the identical sealed
+// payload.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzBlobSeeds builds representative shard blobs: full, delta with a
+// parent link, aux-carrying, and pending-only.
+func fuzzBlobSeeds() [][]byte {
+	return [][]byte{
+		(&shardBlob{Superstep: 2, Shard: 0, Full: true, Parent: 0,
+			Vertex: []int32{0, 4, 8}, Value: []float64{0.1, 0.2, 0.3},
+			Active:  []bool{true, false, true},
+			PendDst: []int32{4}, PendVal: []float64{0.5}}).encode(),
+		(&shardBlob{Superstep: 5, Shard: 1, Full: false, Parent: 4,
+			Vertex: []int32{12}, Value: []float64{7}, Active: []bool{true}}).encode(),
+		(&shardBlob{Superstep: 3, Shard: 2, Full: true,
+			AuxVtx: []int32{1, 5}, Aux: [][]byte{{1, 2, 3}, {}}}).encode(),
+		(&shardBlob{Superstep: 1, Shard: 0, Full: true}).encode(),
+	}
+}
+
+// FuzzDecodeShardBlob asserts the blob decoder never panics and that
+// every successfully decoded blob re-encodes to the same sealed bytes
+// — the canonical-form property the chain CRCs rely on.
+func FuzzDecodeShardBlob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	for _, seed := range fuzzBlobSeeds() {
+		f.Add(seed)
+		// A flipped mid-payload bit must be caught by the seal.
+		bad := append([]byte(nil), seed...)
+		bad[len(bad)/2] ^= 0x10
+		f.Add(bad)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeShardBlob(data)
+		if err != nil {
+			return
+		}
+		if len(b.Value) != len(b.Vertex) || len(b.Active) != len(b.Vertex) ||
+			len(b.PendVal) != len(b.PendDst) || len(b.Aux) != len(b.AuxVtx) {
+			t.Fatalf("decoded blob with mismatched section lengths: %+v", b)
+		}
+		if !bytes.Equal(b.encode(), data) {
+			t.Fatal("decoded blob does not re-encode to the original sealed payload")
+		}
+	})
+}
+
+// FuzzDecodeManifest asserts the manifest decoder never panics, keeps
+// the chain-link invariants (a delta's parent precedes it, a full root
+// has depth 0), and round-trips to the identical sealed payload.
+func FuzzDecodeManifest(f *testing.F) {
+	full := &manifest{Job: "j", Superstep: 2, Shards: 2,
+		Program: `{"Name":"pagerank","Iterations":10}`, Graph: `{"Scale":8,"Seed":7}`,
+		Canonical: true,
+		Aggs:      aggPairs{Names: []string{"sum"}, Vals: []float64{1.5}},
+		BlobKeys:  []string{"dist/j/ckpt/00000002/shard-000", "dist/j/ckpt/00000002/shard-001"},
+		Parent:    -1, Chain: 0}
+	delta := &manifest{Job: "j", Superstep: 3, Shards: 2,
+		Program: full.Program, Graph: full.Graph, Canonical: true,
+		BlobKeys: []string{"dist/j/ckpt/00000003/shard-000", "dist/j/ckpt/00000003/shard-001"},
+		Parent:   2, Chain: 1, ParentCRC: 0xDEADBEEF}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	for _, m := range []*manifest{full, delta} {
+		seed := m.encodeSealed()
+		f.Add(seed)
+		bad := append([]byte(nil), seed...)
+		bad[len(bad)/3] ^= 0x40
+		f.Add(bad)
+	}
+	// An inconsistent link (parent after self) must be rejected even
+	// with a valid seal.
+	f.Add((&manifest{Job: "j", Superstep: 2, Shards: 1, Parent: 5, Chain: 1}).encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Parent >= 0 && (m.Parent >= m.Superstep || m.Chain < 1 || m.Chain > maxChainDepth) {
+			t.Fatalf("decoder admitted an inconsistent chain link: parent %d chain %d superstep %d",
+				m.Parent, m.Chain, m.Superstep)
+		}
+		if m.Parent < 0 && m.Chain != 0 {
+			t.Fatalf("decoder admitted a full manifest at chain depth %d", m.Chain)
+		}
+		if !bytes.Equal(m.encode(), data) {
+			t.Fatal("decoded manifest does not re-encode to the original sealed payload")
+		}
+	})
+}

@@ -32,6 +32,17 @@ type Config struct {
 	// CheckpointEvery writes a checkpoint after every k supersteps
 	// (0 = never).
 	CheckpointEvery int
+	// DeltaChain enables delta checkpoints: up to DeltaChain deltas are
+	// sealed between full checkpoints (0 = every checkpoint is full).
+	// A delta's shard blobs encode only state changed since the parent
+	// manifest, shrinking t_save at the price of a bounded restore
+	// chain.
+	DeltaChain int
+	// ForceCheckpointAt, when > 0, checkpoints after that superstep
+	// even off the CheckpointEvery cadence — the warm-standby driver
+	// sets it to the projected eviction boundary so the final save
+	// lands inside the warning window.
+	ForceCheckpointAt int
 	// MaxSupersteps aborts runaway sessions (0 = 10_000).
 	MaxSupersteps int
 	// BarrierTimeout is the watchdog: a shard that delivers no expected
@@ -186,6 +197,11 @@ type session struct {
 
 	superstep int
 	report    Report
+
+	// lastCkpt is the newest manifest this session knows is sealed (the
+	// resumed one, then each one checkpointAll seals) — the candidate
+	// parent for the next delta.
+	lastCkpt *manifest
 }
 
 // RunCoordinator drives one session over conns (conn i = shard i):
@@ -446,7 +462,8 @@ func (s *session) run() (*Report, error) {
 			return nil, fmt.Errorf("dist: checkpoint for job %q belongs to a different computation", s.cfg.Job)
 		}
 		start = m.Superstep
-		blobKeys = m.BlobKeys
+		blobKeys = m.chainKeys
+		s.lastCkpt = m
 		for i, name := range m.Aggs.Names {
 			if _, ok := s.aggSpec[name]; ok {
 				s.view[name] = m.Aggs.Vals[i]
@@ -594,7 +611,9 @@ func (s *session) run() (*Report, error) {
 			})
 		}
 
-		if s.cfg.CheckpointEvery > 0 && (S+1-start)%s.cfg.CheckpointEvery == 0 && frontier > 0 {
+		onCadence := s.cfg.CheckpointEvery > 0 && (S+1-start)%s.cfg.CheckpointEvery == 0
+		forced := s.cfg.ForceCheckpointAt > 0 && S+1 == s.cfg.ForceCheckpointAt
+		if (onCadence || forced) && frontier > 0 {
 			if err := s.checkpointAll(S + 1); err != nil {
 				return nil, err
 			}
@@ -725,11 +744,27 @@ func (s *session) foldAggs(barriers []barrierMsg) {
 // coordinator seals the set with a manifest and flips the latest
 // pointer. A failed blob write skips the manifest (the previous
 // checkpoint stays authoritative) but does not abort the run.
+//
+// With Config.DeltaChain > 0 and a sealed parent no deeper than the
+// chain bound, the round is a delta: shards are asked to encode only
+// state changed since the parent, and the manifest links to it by
+// superstep + payload CRC. A shard whose diff base doesn't match the
+// requested parent writes a full blob instead (flagged in its ack) —
+// harmless under the oldest-first overlay restore — and the manifest
+// stays a delta.
 func (s *session) checkpointAll(R int) error {
+	delta := s.cfg.DeltaChain > 0 && s.lastCkpt != nil &&
+		s.lastCkpt.Chain < s.cfg.DeltaChain && s.lastCkpt.Chain < maxChainDepth-1
+	var parent uint32
+	if delta {
+		parent = uint32(s.lastCkpt.Superstep)
+	}
 	keys := make([]string, s.shards)
 	for i := range keys {
 		keys[i] = shardBlobKey(s.cfg.Job, R, i)
-		s.queues[i].push(fCheckpoint, checkpointMsg{Superstep: uint32(R), Key: keys[i]}.encode())
+		s.queues[i].push(fCheckpoint, checkpointMsg{
+			Superstep: uint32(R), Key: keys[i], Delta: delta, Parent: parent,
+		}.encode())
 	}
 	acks, err := s.gather(fCheckpointAck, "checkpoint ack", false)
 	if err != nil {
@@ -759,9 +794,15 @@ func (s *session) checkpointAll(R int) error {
 		Canonical: s.cfg.Canonical,
 		Aggs:      s.viewPairs(),
 		BlobKeys:  keys,
+		Parent:    -1,
+	}
+	if delta {
+		m.Parent = s.lastCkpt.Superstep
+		m.Chain = s.lastCkpt.Chain + 1
+		m.ParentCRC = s.lastCkpt.selfCRC
 	}
 	mk := manifestKey(s.cfg.Job, R)
-	if _, err := s.cfg.Store.Put(mk, m.encode()); err != nil {
+	if _, err := s.cfg.Store.Put(mk, m.encodeSealed()); err != nil {
 		s.cfg.logf("dist: manifest write at superstep %d failed: %v", R, err)
 		return nil
 	}
@@ -769,6 +810,7 @@ func (s *session) checkpointAll(R int) error {
 		s.cfg.logf("dist: latest pointer write at superstep %d failed: %v", R, err)
 		return nil
 	}
+	s.lastCkpt = m
 	s.report.Checkpoints++
 	if s.cfg.Sink != nil {
 		s.cfg.Sink.Emit(obs.Event{
@@ -776,7 +818,17 @@ func (s *session) checkpointAll(R int) error {
 			Job:       s.prog.Name(),
 			Superstep: R,
 			WireBytes: int64(totalBytes),
+			Chain:     m.Chain,
 		})
+		if delta {
+			s.cfg.Sink.Emit(obs.Event{
+				Type:       obs.EvDeltaSave,
+				Job:        s.prog.Name(),
+				Superstep:  R,
+				Chain:      m.Chain,
+				DeltaBytes: int64(totalBytes),
+			})
+		}
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hourglass/internal/cloud"
 )
 
 // peerFlushThreshold is the staged-entry count at which a shard ships
@@ -21,6 +23,13 @@ const peerFlushThreshold = 8192
 // peerHelloTimeout bounds how long an accepted peer connection may
 // take to identify itself before the acceptor drops it.
 const peerHelloTimeout = 10 * time.Second
+
+// peerDialPolicy bounds the connect-time dial retries: a peer that is
+// still binding its listener (slow process boot, standby prefetch in
+// flight) gets a few jittered chances before the session gives up.
+// Total worst-case backoff stays under ~4 s wall time so a genuinely
+// absent peer still fails well inside the barrier watchdog.
+var peerDialPolicy = cloud.RetryPolicy{Attempts: 6, Base: 0.1, Factor: 2, Jitter: 0.5}
 
 // peerMesh is one shard's view of the shard-to-shard data plane: a
 // listener accepting one inbound link per peer (batches in), one
@@ -86,20 +95,31 @@ func (m *peerMesh) addr() string { return m.ln.Addr().String() }
 // accept loop starts taking inbound links, and one outbound link is
 // dialed to each peer. Dial order is by ascending shard id; because
 // inbound and outbound links are separate connections, no shard ever
-// waits on a peer's dial to finish its own. Cancelling ctx interrupts
-// any in-flight dial (a peer that never comes up cannot wedge the
-// session past its teardown).
+// waits on a peer's dial to finish its own. Each dial is retried under
+// peerDialPolicy — jittered exponential backoff, seeded per shard so
+// concurrent dialers decorrelate — because peers boot independently
+// and a slow one must not kill the whole session. Cancelling ctx
+// interrupts any in-flight dial or backoff sleep (a peer that never
+// comes up cannot wedge the session past its teardown).
 func (m *peerMesh) connect(ctx context.Context, self int, peers []string) error {
 	m.self = self
 	m.out = make([]*peerLink, len(peers))
 	m.wg.Add(1)
 	go m.accept()
 	var d net.Dialer
+	policy := peerDialPolicy
+	policy.Seed = int64(self + 1)
+	retrier := cloud.NewRetrier(policy)
 	for j, addr := range peers {
 		if j == self {
 			continue
 		}
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		var conn net.Conn
+		_, err := retrier.DoCtx(ctx, func() error {
+			var derr error
+			conn, derr = d.DialContext(ctx, "tcp", addr)
+			return derr
+		})
 		if err != nil {
 			return fmt.Errorf("dist: shard %d dialing peer %d at %s: %w", self, j, addr, err)
 		}
@@ -125,7 +145,11 @@ func (m *peerMesh) accept() {
 		if err != nil {
 			return // listener closed: teardown
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(peerHelloTimeout))
+		if err := conn.SetReadDeadline(time.Now().Add(peerHelloTimeout)); err != nil {
+			conn.Close()
+			m.fail(fmt.Errorf("dist: shard %d arming peer hello deadline: %w", m.self, err))
+			continue
+		}
 		typ, payload, _, err := readFrame(conn)
 		if err != nil || typ != fPeerHello {
 			conn.Close()
@@ -138,7 +162,11 @@ func (m *peerMesh) accept() {
 			m.fail(fmt.Errorf("dist: shard %d inbound peer hello version %d: %v", m.self, h.Version, err))
 			continue
 		}
-		_ = conn.SetReadDeadline(time.Time{})
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			conn.Close()
+			m.fail(fmt.Errorf("dist: shard %d clearing peer hello deadline: %w", m.self, err))
+			continue
+		}
 		m.mu.Lock()
 		if m.closed || m.dropped {
 			m.mu.Unlock()

@@ -1,0 +1,119 @@
+package dist
+
+// Peer-dial retry tests: a standby or slow-booting peer binds its
+// listener late, and the mesh's bounded, jittered dial retry is what
+// keeps the session alive across that window. The failing-first half
+// proves the retry is load-bearing: with a single attempt the same
+// schedule kills the connect.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"hourglass/internal/cloud"
+)
+
+// reservePort grabs a loopback port and releases it, so a test can
+// bring a listener up on a known address *later*.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// lateListener binds addr after delay and swallows one inbound peer
+// connection (reading its hello) so a successful dial completes.
+func lateListener(t *testing.T, addr string, delay time.Duration, done chan<- error) {
+	time.Sleep(delay)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		done <- err
+		return
+	}
+	defer ln.Close()
+	conn, err := ln.Accept()
+	if err != nil {
+		done <- err
+		return
+	}
+	defer conn.Close()
+	_, _, _, err = readFrame(conn)
+	done <- err
+}
+
+// TestPeerDialRetriesSlowPeer: the peer's listener comes up 500 ms
+// after the dialing shard starts connecting. The retry schedule (6
+// attempts, exponential backoff reaching past that window) must carry
+// the connect to success.
+func TestPeerDialRetriesSlowPeer(t *testing.T) {
+	m, err := newPeerMesh("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	peerAddr := reservePort(t)
+	done := make(chan error, 1)
+	go lateListener(t, peerAddr, 500*time.Millisecond, done)
+
+	begin := time.Now()
+	if err := m.connect(context.Background(), 0, []string{m.addr(), peerAddr}); err != nil {
+		t.Fatalf("connect across a 500ms listener gap: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed < 400*time.Millisecond {
+		t.Fatalf("connect returned in %v — it cannot have waited for the late listener", elapsed)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("late peer never saw the hello: %v", err)
+	}
+}
+
+// TestPeerDialSingleAttemptFails is the failing-first counterpart:
+// with the retry policy cut to one attempt, the identical late-listener
+// schedule must kill the connect — proof the bounded retry (and not
+// some hidden OS-level grace) is what absorbs slow peers.
+func TestPeerDialSingleAttemptFails(t *testing.T) {
+	saved := peerDialPolicy
+	peerDialPolicy = cloud.RetryPolicy{Attempts: 1, Base: 0.1, Factor: 2, Jitter: 0.5}
+	defer func() { peerDialPolicy = saved }()
+
+	m, err := newPeerMesh("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	peerAddr := reservePort(t)
+	if err := m.connect(context.Background(), 0, []string{m.addr(), peerAddr}); err == nil {
+		t.Fatal("single-attempt dial to an unbound port succeeded")
+	}
+}
+
+// TestPeerDialRetryCancelled: cancelling the session context mid-
+// backoff must abort the dial loop promptly instead of sleeping out
+// the full schedule against a peer that will never come up.
+func TestPeerDialRetryCancelled(t *testing.T) {
+	m, err := newPeerMesh("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	begin := time.Now()
+	err = m.connect(ctx, 0, []string{m.addr(), reservePort(t)})
+	if err == nil {
+		t.Fatal("connect to an unbound port succeeded")
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("cancelled connect held on for %v", elapsed)
+	}
+}

@@ -2,12 +2,14 @@ package dist
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"hourglass/internal/cloud"
@@ -42,6 +44,14 @@ type ShardOptions struct {
 	// ("" = "pid:<os pid>"). Launchers that multiplex workers inside one
 	// process set it per worker ("goroutine:0.2").
 	Proc string
+	// PrefetchJob, when non-empty, warms a read-through blob cache with
+	// the job's newest checkpoint chain before the handshake — the
+	// warm-standby overlap: a standby worker pulls the restore set while
+	// the primary session is still finishing, so welcome-time reload
+	// pays only for blobs written after the prefetch (the final
+	// in-window delta). Best effort; a failed or useless prefetch just
+	// means cold reads.
+	PrefetchJob string
 	// DropPeersAtSuperstep, when > 0, severs every peer-mesh
 	// connection halfway through that superstep's worklist — mid-flush,
 	// since staged slots ship as they fill — while keeping the
@@ -72,6 +82,11 @@ func RunShard(ctx context.Context, conn net.Conn, opts ShardOptions) error {
 	defer conn.Close()
 	if opts.Store == nil {
 		return errors.New("dist: ShardOptions.Store is required")
+	}
+	if opts.PrefetchJob != "" {
+		ps := newPrefetchStore(opts.Store)
+		ps.warm(opts.PrefetchJob)
+		opts.Store = ps
 	}
 	s := &shardSession{
 		runCtx: ctx,
@@ -223,6 +238,16 @@ type shardSession struct {
 	calls     int64
 	combined  int64
 	remote    int64
+
+	// Delta-checkpoint diff base: a snapshot of the owned partition
+	// (indexed like s.owned) as of the manifest at baseStep — the resumed
+	// manifest after a reload, then each checkpoint this shard wrote.
+	// baseStep = -1 means no base (fresh start): the next checkpoint is
+	// necessarily full.
+	baseStep int
+	baseVal  []float64
+	baseAct  []bool
+	baseAux  [][]byte // nil for auxless programs
 }
 
 // send encodes one frame into the write buffer (no flush).
@@ -458,6 +483,7 @@ func (s *shardSession) init(w welcomeMsg) error {
 
 	start := int(w.Start)
 	par := start & 1
+	s.baseStep = -1
 	if len(w.BlobKeys) == 0 {
 		// Fresh start: Init every vertex (bundled programs derive values
 		// from the graph alone, so non-owned values are consistent too);
@@ -474,19 +500,45 @@ func (s *shardSession) init(w welcomeMsg) error {
 		}
 		return nil
 	}
-	// Resume: reload the full blob set and keep what we own. Every
-	// shard does this concurrently — the §6 parallel micro-partition
-	// reload — and because filtering is by the *current* assignment,
-	// the blob set may have been written under a different shard count.
-	for _, key := range w.BlobKeys {
-		data, _, err := s.opts.Store.Get(key)
+	// Resume: reload the blob set and keep what we own. Every shard
+	// does this concurrently — the §6 parallel micro-partition reload —
+	// and because filtering is by the *current* assignment, the blob
+	// set may have been written under a different shard count. The key
+	// list is a whole manifest chain, oldest manifest first: fetches
+	// and decodes run in parallel, application is sequential in chain
+	// order so newer (delta) blobs overlay ancestor state per vertex.
+	// Pending inboxes are never delta-encoded and only the resume
+	// superstep's are live, so they apply only from blobs written at
+	// `start`; worklist enqueues wait until the overlay has settled
+	// every owned vertex's final activity.
+	blobs := make([]*shardBlob, len(w.BlobKeys))
+	errs := make([]error, len(w.BlobKeys))
+	var wg sync.WaitGroup
+	for bi, key := range w.BlobKeys {
+		wg.Add(1)
+		go func(bi int, key string) {
+			defer wg.Done()
+			data, _, err := s.opts.Store.Get(key)
+			if err != nil {
+				errs[bi] = fmt.Errorf("dist: shard %d loading blob %q: %w", s.id, key, err)
+				return
+			}
+			blob, err := decodeShardBlob(data)
+			if err != nil {
+				errs[bi] = fmt.Errorf("dist: shard %d blob %q: %w", s.id, key, err)
+				return
+			}
+			blobs[bi] = blob
+		}(bi, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("dist: shard %d loading blob %q: %w", s.id, key, err)
+			return err
 		}
-		blob, err := decodeShardBlob(data)
-		if err != nil {
-			return fmt.Errorf("dist: shard %d blob %q: %w", s.id, key, err)
-		}
+	}
+	for bi, blob := range blobs {
+		key := w.BlobKeys[bi]
 		for i, vtx := range blob.Vertex {
 			if vtx < 0 || int(vtx) >= n {
 				return fmt.Errorf("dist: blob %q names vertex %d of %d", key, vtx, n)
@@ -494,17 +546,16 @@ func (s *shardSession) init(w welcomeMsg) error {
 			s.values[vtx] = blob.Value[i]
 			if int(s.owner[vtx]) == s.id {
 				s.active[vtx] = blob.Active[i]
-				if blob.Active[i] {
-					s.enqueue(par, graph.VertexID(vtx))
-				}
 			}
 		}
-		for i, d := range blob.PendDst {
-			if d < 0 || int(d) >= n {
-				return fmt.Errorf("dist: blob %q pending for vertex %d of %d", key, d, n)
-			}
-			if int(s.owner[d]) == s.id {
-				s.deliverLocal(par, graph.VertexID(d), blob.PendVal[i], false)
+		if blob.Superstep == start {
+			for i, d := range blob.PendDst {
+				if d < 0 || int(d) >= n {
+					return fmt.Errorf("dist: blob %q pending for vertex %d of %d", key, d, n)
+				}
+				if int(s.owner[d]) == s.id {
+					s.deliverLocal(par, graph.VertexID(d), blob.PendVal[i], false)
+				}
 			}
 		}
 		if len(blob.AuxVtx) > 0 && s.aux == nil {
@@ -522,7 +573,34 @@ func (s *shardSession) init(w welcomeMsg) error {
 			}
 		}
 	}
+	for _, v := range s.owned {
+		if s.active[v] {
+			s.enqueue(par, v)
+		}
+	}
+	s.snapshotBase(start)
 	return nil
+}
+
+// snapshotBase records the owned partition's current state as the diff
+// base for the next delta checkpoint — called after a reload (base =
+// the resumed manifest) and after every blob this shard writes.
+func (s *shardSession) snapshotBase(step int) {
+	s.baseStep = step
+	if s.baseVal == nil {
+		s.baseVal = make([]float64, len(s.owned))
+		s.baseAct = make([]bool, len(s.owned))
+	}
+	if s.aux != nil && s.baseAux == nil {
+		s.baseAux = make([][]byte, len(s.owned))
+	}
+	for i, v := range s.owned {
+		s.baseVal[i] = s.values[v]
+		s.baseAct[i] = s.active[v]
+		if s.aux != nil {
+			s.baseAux[i] = append([]byte(nil), s.aux.MarshalVertexAux(v)...)
+		}
+	}
 }
 
 // enqueue adds v to the parity-par worklist once.
@@ -906,16 +984,41 @@ func (s *shardSession) sendBarrier(S int) error {
 // engine checkpoints use), and — for VertexAux programs — each owned
 // vertex's auxiliary state. Checkpoints run in the quiescent window
 // after every shard's frontier report, so no batch is in flight.
+//
+// A delta request with a matching diff base encodes only owned
+// vertices whose value/activity/aux changed since the base (the
+// pending inbox stays complete — it has no stable identity to diff);
+// a stale or missing base falls back to a full blob, flagged in the
+// ack. Either way the written blob becomes the next diff base.
 func (s *shardSession) checkpoint(req checkpointMsg) error {
 	par := int(req.Superstep) & 1
-	blob := &shardBlob{Superstep: int(req.Superstep), Shard: s.id}
-	blob.Vertex = make([]int32, len(s.owned))
-	blob.Value = make([]float64, len(s.owned))
-	blob.Active = make([]bool, len(s.owned))
+	asDelta := req.Delta && s.baseStep >= 0 && s.baseStep == int(req.Parent)
+	blob := &shardBlob{
+		Superstep: int(req.Superstep),
+		Shard:     s.id,
+		Full:      !asDelta,
+		Parent:    int(req.Parent),
+	}
+	var aux []byte
 	for i, v := range s.owned {
-		blob.Vertex[i] = int32(v)
-		blob.Value[i] = s.values[v]
-		blob.Active[i] = s.active[v]
+		if s.aux != nil {
+			aux = s.aux.MarshalVertexAux(v)
+		}
+		if asDelta {
+			if s.values[v] == s.baseVal[i] && s.active[v] == s.baseAct[i] &&
+				(s.aux == nil || bytes.Equal(aux, s.baseAux[i])) {
+				continue
+			}
+		}
+		blob.Vertex = append(blob.Vertex, int32(v))
+		blob.Value = append(blob.Value, s.values[v])
+		blob.Active = append(blob.Active, s.active[v])
+		if s.aux != nil {
+			blob.AuxVtx = append(blob.AuxVtx, int32(v))
+			blob.Aux = append(blob.Aux, append([]byte(nil), aux...))
+		}
+	}
+	for _, v := range s.owned {
 		if s.comb != nil {
 			if s.inSet[par][v] {
 				blob.PendDst = append(blob.PendDst, int32(v))
@@ -928,19 +1031,13 @@ func (s *shardSession) checkpoint(req checkpointMsg) error {
 			}
 		}
 	}
-	if s.aux != nil {
-		blob.AuxVtx = make([]int32, len(s.owned))
-		blob.Aux = make([][]byte, len(s.owned))
-		for i, v := range s.owned {
-			blob.AuxVtx[i] = int32(v)
-			blob.Aux[i] = s.aux.MarshalVertexAux(v)
-		}
-	}
 	data := blob.encode()
-	ack := checkpointAckMsg{Superstep: req.Superstep, Bytes: uint64(len(data))}
+	ack := checkpointAckMsg{Superstep: req.Superstep, Bytes: uint64(len(data)), Full: req.Delta && !asDelta}
 	if _, err := s.opts.Store.Put(req.Key, data); err != nil {
 		ack.Err = err.Error()
 		s.opts.logf("dist: shard %d checkpoint %q failed: %v", s.id, req.Key, err)
+	} else {
+		s.snapshotBase(int(req.Superstep))
 	}
 	if err := s.send(fCheckpointAck, ack.encode()); err != nil {
 		return err

@@ -47,7 +47,10 @@ import (
 // the expected arrival count, and batches flow shard-to-shard.
 // Version 3 adds the worker's self-declared process identity to the
 // hello, so shard-loss events name the actual process that died.
-const wireVersion = 3
+// Version 4 adds delta checkpoints: checkpoint requests carry the
+// delta flag and parent superstep, acks report whether the shard
+// wrote a full blob instead.
+const wireVersion = 4
 
 // MaxFrameBytes bounds a single frame's payload. Batches are chunked
 // well below this (batchChunk); the bound exists so a corrupt length
@@ -645,30 +648,42 @@ func decodeInboxed(p []byte) (inboxedMsg, error) {
 }
 
 // checkpointMsg asks a shard to persist its partition state for a
-// resume into superstep Superstep, under the given blob key.
+// resume into superstep Superstep, under the given blob key. With
+// Delta set the shard should encode only state changed since the
+// parent manifest at superstep Parent — falling back to a full blob
+// (flagged in the ack) if its in-memory base doesn't match.
 type checkpointMsg struct {
 	Superstep uint32
 	Key       string
+	Delta     bool
+	Parent    uint32 // parent manifest superstep, meaningful when Delta
 }
 
 func (m checkpointMsg) encode() []byte {
 	var w wbuf
 	w.u32(m.Superstep)
 	w.str(m.Key)
+	w.bool(m.Delta)
+	w.u32(m.Parent)
 	return w.b
 }
 
 func decodeCheckpoint(p []byte) (checkpointMsg, error) {
 	r := rbuf{b: p}
 	m := checkpointMsg{Superstep: r.u32(), Key: r.str()}
+	m.Delta = r.bool()
+	m.Parent = r.u32()
 	return m, r.finish()
 }
 
-// checkpointAckMsg confirms (or fails) a shard's blob write.
+// checkpointAckMsg confirms (or fails) a shard's blob write. Full
+// reports that the shard wrote a full blob even though a delta was
+// requested (its diff base didn't match the requested parent).
 type checkpointAckMsg struct {
 	Superstep uint32
 	Bytes     uint64
 	Err       string // "" = success
+	Full      bool
 }
 
 func (m checkpointAckMsg) encode() []byte {
@@ -676,12 +691,14 @@ func (m checkpointAckMsg) encode() []byte {
 	w.u32(m.Superstep)
 	w.u64(m.Bytes)
 	w.str(m.Err)
+	w.bool(m.Full)
 	return w.b
 }
 
 func decodeCheckpointAck(p []byte) (checkpointAckMsg, error) {
 	r := rbuf{b: p}
 	m := checkpointAckMsg{Superstep: r.u32(), Bytes: r.u64(), Err: r.str()}
+	m.Full = r.bool()
 	return m, r.finish()
 }
 

@@ -68,6 +68,16 @@ type Event struct {
 	Attempts int    `json:"attempts,omitempty"`
 	Err      string `json:"err,omitempty"`
 
+	// Warm-standby recovery fields (EvWarning/EvStandby/EvCutover/
+	// EvDeltaSave). Ready reports whether a standby set was projected
+	// to boot inside the warning window; Chain is a delta checkpoint's
+	// distance from its full ancestor (0 = full blob); DeltaBytes is
+	// the delta-encoded footprint of a checkpoint whose full encoding
+	// would have cost WireBytes.
+	Ready      bool  `json:"ready,omitempty"`
+	Chain      int   `json:"chain,omitempty"`
+	DeltaBytes int64 `json:"delta_bytes,omitempty"`
+
 	// Admission-control fields (EvAdmit/EvQueue/EvReject/EvPack/
 	// EvRelease). Tenant labels the submitting tenant; Deployment is
 	// the shared deployment a job was packed onto or released from;
@@ -97,6 +107,16 @@ const (
 	// EvShardEvict marks a distributed shard worker declared dead by
 	// the coordinator (connection loss or barrier-vote timeout).
 	EvShardEvict = "shard_evict"
+	// Warm-standby lifecycle (internal/runtime): an eviction warning
+	// fires WarningWindow seconds ahead of the reclaim boundary; a
+	// standby set is launched (or judged infeasible) in response; a
+	// ready standby takes over at the boundary with near-zero boot.
+	EvWarning = "warning"
+	EvStandby = "standby"
+	EvCutover = "cutover"
+	// EvDeltaSave marks a checkpoint sealed as a delta manifest: only
+	// changed vertices were encoded, Chain deep in the parent chain.
+	EvDeltaSave = "delta_save"
 	// Admission-control lifecycle (internal/admission): a submission is
 	// admitted (and packed onto a deployment), parked in the wait
 	// queue, or rejected; a placed job releases its deployment share

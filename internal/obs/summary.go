@@ -30,6 +30,20 @@ type Summary struct {
 
 	// Retries across durability paths.
 	RetryAttempts int
+
+	// Warm-standby recovery. Warnings counts eviction forewarnings,
+	// WarmCutovers the ones a pre-booted standby absorbed, and
+	// StandbyMisses the ones that fell back to reactive recovery.
+	// RecoverySec sums the downtime between each eviction boundary and
+	// the replacement set being compute-ready (a warm cutover
+	// contributes ~0); DeltaBytes/FullBytes split checkpoint footprint
+	// by encoding so delta savings are visible in one fold.
+	Warnings      int
+	WarmCutovers  int
+	StandbyMisses int
+	RecoverySec   float64
+	DeltaBytes    int64
+	FullBytes     int64
 }
 
 // Summarize folds a trace. Spend deltas are accumulated in event
@@ -47,10 +61,27 @@ func Summarize(events []Event) Summary {
 			s.Decisions++
 		case EvDeploy:
 			s.Deploys++
+			if e.Reload {
+				s.RecoverySec += e.DurSec
+			}
 		case EvEvict:
 			s.Evictions++
 		case EvCheckpoint:
 			s.Checkpoints++
+			if e.Chain == 0 {
+				s.FullBytes += e.WireBytes
+			}
+		case EvWarning:
+			s.Warnings++
+		case EvStandby:
+			if !e.Ready {
+				s.StandbyMisses++
+			}
+		case EvCutover:
+			s.WarmCutovers++
+			s.RecoverySec += e.DurSec
+		case EvDeltaSave:
+			s.DeltaBytes += e.DeltaBytes
 		case EvDone:
 			s.Runs++
 			s.Finished = e.Done
@@ -99,6 +130,13 @@ func (s Summary) String() string {
 	}
 	if s.RetryAttempts > 0 {
 		fmt.Fprintf(&b, "retries     %d attempts\n", s.RetryAttempts)
+	}
+	if s.Warnings > 0 || s.WarmCutovers > 0 || s.StandbyMisses > 0 {
+		fmt.Fprintf(&b, "standby     %d warnings, %d warm cutovers, %d misses (recovery %.0fs)\n",
+			s.Warnings, s.WarmCutovers, s.StandbyMisses, s.RecoverySec)
+	}
+	if s.DeltaBytes > 0 || s.FullBytes > 0 {
+		fmt.Fprintf(&b, "ckpt bytes  %d full, %d delta\n", s.FullBytes, s.DeltaBytes)
 	}
 	if b.Len() == 0 {
 		return "empty trace\n"

@@ -63,6 +63,25 @@ type DistLauncher interface {
 	Launch(ctx context.Context, addr string, shards, attempt int) (WorkerSet, error)
 }
 
+// WarningSource is an optional DistLauncher extension: a launcher that
+// knows a worker of deployment `attempt` is scheduled to die (a chaos
+// -die-at injection, a cloud rebalance notice) reports the absolute
+// superstep the death lands in, so the driver can arm a warm standby
+// for real worker losses exactly like forecast market evictions.
+// Return 0 for "no scheduled death".
+type WarningSource interface {
+	DeathWarning(attempt int) int
+}
+
+// StandbyLauncher is an optional DistLauncher extension: the driver
+// boots warm-standby worker sets through it so the workers prefetch the
+// job's newest checkpoint chain (dist.ShardOptions.PrefetchJob) while
+// the primary session is still running. Launchers without it still get
+// warm boots, just cold first reads.
+type StandbyLauncher interface {
+	LaunchStandby(ctx context.Context, addr string, shards, attempt int, prefetchJob string) (WorkerSet, error)
+}
+
 // LoopbackLauncher runs shard workers as goroutines in this process,
 // connected to the coordinator over loopback TCP — real wire frames
 // and real checkpoint blobs, no process overhead.
@@ -76,10 +95,32 @@ type LoopbackLauncher struct {
 	ShardOpts func(attempt, shard int) dist.ShardOptions
 	// Logf receives per-shard session diagnostics (nil = discard).
 	Logf func(format string, args ...any)
+	// DeathAt, when non-nil, forewarns the driver of scheduled worker
+	// deaths: it reports the absolute superstep a worker of the given
+	// deployment will die at (0 = none). Tests wire it to the same
+	// schedule their ShardOpts chaos hook injects.
+	DeathAt func(attempt int) int
 }
 
 // Launch implements DistLauncher.
 func (l *LoopbackLauncher) Launch(ctx context.Context, addr string, shards, attempt int) (WorkerSet, error) {
+	return l.launch(ctx, addr, shards, attempt, "")
+}
+
+// LaunchStandby implements StandbyLauncher.
+func (l *LoopbackLauncher) LaunchStandby(ctx context.Context, addr string, shards, attempt int, prefetchJob string) (WorkerSet, error) {
+	return l.launch(ctx, addr, shards, attempt, prefetchJob)
+}
+
+// DeathWarning implements WarningSource.
+func (l *LoopbackLauncher) DeathWarning(attempt int) int {
+	if l.DeathAt == nil {
+		return 0
+	}
+	return l.DeathAt(attempt)
+}
+
+func (l *LoopbackLauncher) launch(ctx context.Context, addr string, shards, attempt int, prefetchJob string) (WorkerSet, error) {
 	wctx, cancel := context.WithCancel(ctx)
 	ws := &loopbackSet{cancel: cancel, ids: make([]string, shards)}
 	for i := 0; i < shards; i++ {
@@ -89,6 +130,9 @@ func (l *LoopbackLauncher) Launch(ctx context.Context, addr string, shards, atte
 			if opts.Store == nil {
 				opts.Store = l.Store
 			}
+		}
+		if opts.PrefetchJob == "" {
+			opts.PrefetchJob = prefetchJob
 		}
 		ws.ids[i] = fmt.Sprintf("goroutine:%d.%d", attempt, i)
 		// The worker announces its identity in the hello: the
@@ -133,13 +177,38 @@ type ProcessLauncher struct {
 	// ExtraArgs, when non-nil, appends per-worker flags — the chaos
 	// seam for -die-at style fault injection.
 	ExtraArgs func(attempt, shard int) []string
+	// DeathAt, when non-nil, forewarns the driver of scheduled worker
+	// deaths (see WarningSource); wire it to the schedule ExtraArgs
+	// passes via -die-at.
+	DeathAt func(attempt int) int
 }
 
 // Launch implements DistLauncher.
 func (l *ProcessLauncher) Launch(ctx context.Context, addr string, shards, attempt int) (WorkerSet, error) {
+	return l.launch(ctx, addr, shards, attempt, "")
+}
+
+// LaunchStandby implements StandbyLauncher: standby workers get
+// -prefetch-job so they warm their blob cache before the handshake.
+func (l *ProcessLauncher) LaunchStandby(ctx context.Context, addr string, shards, attempt int, prefetchJob string) (WorkerSet, error) {
+	return l.launch(ctx, addr, shards, attempt, prefetchJob)
+}
+
+// DeathWarning implements WarningSource.
+func (l *ProcessLauncher) DeathWarning(attempt int) int {
+	if l.DeathAt == nil {
+		return 0
+	}
+	return l.DeathAt(attempt)
+}
+
+func (l *ProcessLauncher) launch(ctx context.Context, addr string, shards, attempt int, prefetchJob string) (WorkerSet, error) {
 	ws := &processSet{}
 	for i := 0; i < shards; i++ {
 		args := []string{"-coordinator", addr, "-store", l.StoreDir, "-once"}
+		if prefetchJob != "" {
+			args = append(args, "-prefetch-job", prefetchJob)
+		}
 		if l.ExtraArgs != nil {
 			args = append(args, l.ExtraArgs(attempt, i)...)
 		}
@@ -210,6 +279,19 @@ type DistOptions struct {
 	// the only holder of in-memory state, so a provisioner decision
 	// without durability would make every loss a restart from scratch.
 	CheckpointEvery int
+	// WarningWindow is the eviction advance notice: the driver learns
+	// of an upcoming eviction (or scheduled worker death, see
+	// WarningSource) WarningWindow virtual seconds early, arms a warm
+	// standby cluster that boots and prefetches concurrently with the
+	// doomed session, and — when the window fits a checkpoint save —
+	// forces one final checkpoint at the eviction boundary so the
+	// standby resumes within one superstep of it. 0 disables warm
+	// standby (pure reactive recovery).
+	WarningWindow units.Seconds
+	// DeltaChain bounds the dist checkpoint delta chain: up to
+	// DeltaChain consecutive delta checkpoints follow each full one
+	// (0 = every checkpoint full).
+	DeltaChain int
 	// RestartBudget bounds evictions + losses before the driver pins
 	// the last-resort configuration (0 = 8).
 	RestartBudget int
@@ -305,6 +387,11 @@ type distDriver struct {
 
 	t       units.Seconds // virtual clock
 	durable int           // newest durable checkpoint superstep (0 = none)
+
+	// pending is a warm standby adopted at the last eviction: the next
+	// run-loop iteration runs its session over the pre-booted listener
+	// and worker set instead of deciding and deploying afresh.
+	pending *standbyState
 }
 
 func (d *distDriver) emit(e obs.Event) {
@@ -332,12 +419,28 @@ func (d *distDriver) spend(c cloud.Config, from, to units.Seconds) error {
 func (d *distDriver) run(ctx context.Context) (Report, error) {
 	env := d.opts.Env
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			d.teardownStandby(d.pending)
+			return d.rep, fmt.Errorf("runtime: dist run cancelled after %d decisions: %w", d.rep.Decisions, err)
+		}
+		if sb := d.pending; sb != nil {
+			// Warm cutover: the decision was made at the warning (and
+			// counted there), the set is booted and prefetched — go
+			// straight to the session.
+			d.pending = nil
+			if d.rep.Decisions > d.opts.MaxDecisions {
+				d.teardownStandby(sb)
+				return d.rep, fmt.Errorf("runtime: exceeded %d decisions (provisioner livelock?)", d.opts.MaxDecisions)
+			}
+			done, err := d.segment(ctx, sb.cs, attempt, sb)
+			if err != nil || done {
+				return d.rep, err
+			}
+			continue
+		}
 		d.rep.Decisions++
 		if d.rep.Decisions > d.opts.MaxDecisions {
 			return d.rep, fmt.Errorf("runtime: exceeded %d decisions (provisioner livelock?)", d.opts.MaxDecisions)
-		}
-		if err := ctx.Err(); err != nil {
-			return d.rep, fmt.Errorf("runtime: dist run cancelled after %d decisions: %w", d.rep.Decisions, err)
 		}
 		// No live deployment survives a dist decision point (the process
 		// set is gone), so Current is always nil and every decision boots
@@ -349,7 +452,7 @@ func (d *distDriver) run(ctx context.Context) (Report, error) {
 			return d.rep, err
 		}
 		_ = dec // durability is not optional on the dist plane; see CheckpointEvery
-		done, err := d.segment(ctx, cs, attempt)
+		done, err := d.segment(ctx, cs, attempt, nil)
 		if err != nil || done {
 			return d.rep, err
 		}
@@ -395,37 +498,51 @@ func (d *distDriver) reloadTime(workers int) units.Seconds {
 	return cluster.SimulateFlows(flows)
 }
 
-// segment boots one process set under cs and runs one dist session,
-// folding the outcome into the report. It returns done=true when the
-// job finished (successfully or not recoverably).
-func (d *distDriver) segment(ctx context.Context, cs *core.ConfigStats, attempt int) (bool, error) {
+// segment runs one dist session under cs, folding the outcome into the
+// report. With warm == nil it boots a fresh process set (billing wait +
+// boot + load); with a warm standby it adopts the pre-booted listener
+// and worker set at zero additional downtime. It returns done=true when
+// the job finished (successfully or not recoverably).
+func (d *distDriver) segment(ctx context.Context, cs *core.ConfigStats, attempt int, warm *standbyState) (bool, error) {
 	env := d.opts.Env
 	shards := cs.Config.Count
+	t0 := d.t
+	var deployDur units.Seconds
 
-	// Deploy billing mirrors the in-process driver: wait for market
-	// availability, boot, then either the profiled input load (fresh
-	// start) or the simnet-priced parallel checkpoint redistribution
-	// to the new worker count.
-	avail, err := env.Market.NextAvailable(cs.Config, d.t)
-	if err != nil {
-		return false, err
+	if warm == nil {
+		// Deploy billing mirrors the in-process driver: wait for market
+		// availability, boot, then either the profiled input load (fresh
+		// start) or the simnet-priced parallel checkpoint redistribution
+		// to the new worker count.
+		avail, err := env.Market.NextAvailable(cs.Config, d.t)
+		if err != nil {
+			return false, err
+		}
+		var ioLoad units.Seconds
+		if d.durable > 0 {
+			ioLoad = d.reloadTime(shards)
+		} else {
+			ioLoad = cs.Load
+		}
+		d.rep.IOTime += ioLoad
+		readyAt := avail + cs.Boot + ioLoad
+		if err := d.spend(cs.Config, avail, readyAt); err != nil {
+			return false, err
+		}
+		d.t = readyAt
+		deployDur = readyAt - t0
+		if d.durable > 0 {
+			d.rep.RecoveryTime += deployDur
+		}
 	}
-	var ioLoad units.Seconds
-	if d.durable > 0 {
-		ioLoad = d.reloadTime(shards)
-	} else {
-		ioLoad = cs.Load
-	}
-	d.rep.IOTime += ioLoad
-	readyAt := avail + cs.Boot + ioLoad
-	if err := d.spend(cs.Config, avail, readyAt); err != nil {
-		return false, err
-	}
-	d.t = readyAt
+	// A warm cutover's boot and reload were paid inside the warning
+	// window, overlapped with the doomed session: the standby was billed
+	// through the eviction instant at adoption and d.t is already that
+	// instant, so the deploy span — the recovery downtime — is zero.
 	d.rep.Reconfigs++
 	d.rep.ShardCounts = append(d.rep.ShardCounts, shards)
 
-	nextEvict := d.evictor.Next(cs.Config, readyAt)
+	nextEvict := d.evictor.Next(cs.Config, d.t)
 	secPerStep := units.Seconds(float64(cs.Exec) / float64(d.opts.TotalSupersteps))
 	remSteps := d.opts.TotalSupersteps - d.durable
 	if remSteps < 1 {
@@ -438,8 +555,9 @@ func (d *distDriver) segment(ctx context.Context, cs *core.ConfigStats, attempt 
 		}
 	}
 	if stepsToEvict <= 0 {
-		// Evicted before one superstep would complete: not worth booting
+		// Evicted before one superstep would complete: not worth running
 		// the cluster at all.
+		d.teardownStandby(warm)
 		if err := d.spend(cs.Config, d.t, nextEvict); err != nil {
 			return false, err
 		}
@@ -451,26 +569,53 @@ func (d *distDriver) segment(ctx context.Context, cs *core.ConfigStats, attempt 
 		evictAfter = stepsToEvict
 	}
 
-	rep, mon, runErr := d.session(ctx, cs, shards, attempt, evictAfter)
+	mon := &distMonitor{forward: d.opts.Sink, evictAfter: evictAfter}
+	forceCkptAt, sbArm := d.armStandby(ctx, mon, cs, attempt, evictAfter, remSteps, secPerStep, nextEvict)
+
+	rep, runErr := d.session(ctx, cs, shards, attempt, mon, forceCkptAt, deployDur, warm)
 	actual := mon.stepsDone()
 	segEnd := d.t + units.Seconds(float64(actual)*float64(secPerStep))
 
+	// If the warning fired, a standby orchestration goroutine ran (or is
+	// still running) concurrently with the session; join it before
+	// touching the report.
+	var sb *standbyState
+	if sbArm != nil && mon.warnFired() {
+		<-sbArm.done
+		sb = sbArm
+	}
+
 	switch {
 	case runErr == nil:
-		return d.finish(rep, cs, segEnd, nextEvict, mon)
+		done, err := d.finish(rep, cs, segEnd, nextEvict, mon)
+		if err != nil {
+			d.teardownStandby(sb)
+			return false, err
+		}
+		if done {
+			// The job finished under the doomed session after all; the
+			// standby was insurance that never paid out.
+			return true, d.discardStandby(sb, d.t)
+		}
+		// Evicted computing the tail or writing the output (finish
+		// recorded the eviction at nextEvict): a ready standby still
+		// takes over.
+		return false, d.settleStandby(sb, nextEvict)
 
 	case mon.tripped() && ctx.Err() == nil:
 		// Injected eviction: the machines ran (and are billed) up to the
 		// price crossing; progress past the durable frontier is gone
 		// with the processes.
 		if err := d.spend(cs.Config, d.t, nextEvict); err != nil {
+			d.teardownStandby(sb)
 			return false, err
 		}
 		d.commitDurable(mon)
 		d.evictAt(nextEvict, cs)
-		return false, nil
+		return false, d.settleStandby(sb, nextEvict)
 
 	case ctx.Err() != nil:
+		d.teardownStandby(sb)
 		d.commitDurable(mon)
 		return false, fmt.Errorf("runtime: dist run cancelled mid-session: %w", ctx.Err())
 
@@ -480,55 +625,69 @@ func (d *distDriver) segment(ctx context.Context, cs *core.ConfigStats, attempt 
 			// A worker actually died (chaos hook, killed process): bill
 			// the supersteps that did complete, then go back around —
 			// the next decision is free to pick a different worker count
-			// and the next session resumes the blobs at that count.
+			// and the next session resumes the blobs at that count. A
+			// forewarned death (WarningSource) may have a standby ready.
 			if err := d.spend(cs.Config, d.t, segEnd); err != nil {
+				d.teardownStandby(sb)
 				return false, err
 			}
 			d.commitDurable(mon)
 			d.evictAt(segEnd, cs)
-			return false, nil
+			return false, d.settleStandby(sb, segEnd)
 		}
+		d.teardownStandby(sb)
 		return false, runErr
 	}
 }
 
-// session boots the worker set and runs one coordinator session over
-// it. Whatever the outcome, the set is torn down and waited for before
-// returning: the next deployment must never race a straggler from
-// this one.
-func (d *distDriver) session(ctx context.Context, cs *core.ConfigStats, shards, attempt, evictAfter int) (*dist.Report, *distMonitor, error) {
+// session runs one coordinator session over a worker set — freshly
+// launched, or adopted from a warm standby. Whatever the outcome, the
+// set is torn down and waited for before returning: the next deployment
+// must never race a straggler from this one.
+func (d *distDriver) session(ctx context.Context, cs *core.ConfigStats, shards, attempt int, mon *distMonitor, forceCkptAt int, deployDur units.Seconds, warm *standbyState) (*dist.Report, error) {
 	segCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, &distMonitor{}, fmt.Errorf("runtime: dist coordinator listener: %w", err)
+	mon.cancel = cancel
+	var ln net.Listener
+	var ws WorkerSet
+	if warm != nil {
+		ln, ws = warm.ln, warm.ws
+		defer warm.cancel()
+		defer ln.Close()
+	} else {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("runtime: dist coordinator listener: %w", err)
+		}
+		defer ln.Close()
+		ws, err = d.opts.Launcher.Launch(segCtx, ln.Addr().String(), shards, attempt)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: launching %d workers: %w", shards, err)
+		}
 	}
-	defer ln.Close()
-	ws, err := d.opts.Launcher.Launch(segCtx, ln.Addr().String(), shards, attempt)
-	if err != nil {
-		return nil, &distMonitor{}, fmt.Errorf("runtime: launching %d workers: %w", shards, err)
-	}
-	mon := &distMonitor{forward: d.opts.Sink, cancel: cancel, evictAfter: evictAfter}
 	d.emit(obs.Event{Type: obs.EvDeploy, T: float64(d.t), Job: d.opts.Env.Job.Name,
 		Config: cs.Config.ID(), WorkLeft: workLeft(d.opts.TotalSupersteps, d.durable),
-		Proc: strings.Join(ws.IDs(), ","), Reload: d.durable > 0})
+		DurSec: float64(deployDur), Proc: strings.Join(ws.IDs(), ","), Reload: d.durable > 0})
 	cfg := dist.Config{
-		Job:             d.opts.Job,
-		Program:         d.opts.Program,
-		Graph:           d.opts.Graph,
-		Canonical:       true,
-		CheckpointEvery: d.opts.CheckpointEvery,
-		MaxSupersteps:   d.opts.MaxSupersteps,
-		BarrierTimeout:  d.opts.BarrierTimeout,
-		Store:           d.opts.Store,
-		Sink:            mon,
-		Logf:            d.opts.Logf,
+		Job:               d.opts.Job,
+		Program:           d.opts.Program,
+		Graph:             d.opts.Graph,
+		Canonical:         true,
+		CheckpointEvery:   d.opts.CheckpointEvery,
+		DeltaChain:        d.opts.DeltaChain,
+		ForceCheckpointAt: forceCkptAt,
+		MaxSupersteps:     d.opts.MaxSupersteps,
+		BarrierTimeout:    d.opts.BarrierTimeout,
+		Store:             d.opts.Store,
+		Sink:              mon,
+		Logf:              d.opts.Logf,
 	}
 	rep, runErr := dist.AcceptAndRun(segCtx, ln, shards, cfg)
 	cancel()
 	ws.Stop()
 	ws.Wait()
-	return rep, mon, runErr
+	return rep, runErr
 }
 
 // evictAt records a deployment-level eviction at absolute time `at`.
@@ -588,23 +747,34 @@ func (d *distDriver) finish(rep *dist.Report, cs *core.ConfigStats, segEnd, next
 
 // distMonitor is the coordinator sink of one session: it forwards
 // events (stamping worker identity onto EvShardEvict), tracks the
-// session's superstep and checkpoint progress, and cancels the segment
-// context at the injected eviction boundary. The coordinator emits
-// EvSuperstep synchronously at the barrier — before sealing that
-// boundary's checkpoint — so "evict after N supersteps" is
-// deterministic: the session stops before superstep N+1 and the
-// checkpoint at N never becomes durable, exactly a machine-set loss at
-// that instant.
+// session's superstep and checkpoint progress, fires the eviction
+// warning, and cancels the segment context at the injected eviction
+// boundary. The coordinator emits EvSuperstep synchronously at the
+// barrier — before sealing that boundary's checkpoint — so "evict
+// after N supersteps" is deterministic: the session stops before
+// superstep N+1 and the checkpoint at N never becomes durable, exactly
+// a machine-set loss at that instant.
+//
+// In warm mode (warmBoundary > 0, set when the warning window fits one
+// final save) the cancellation moves to the EvCheckpoint the
+// coordinator emits after sealing the forced boundary checkpoint: the
+// session still stops before superstep N+1 starts, but the boundary's
+// state is durable — the in-window save. If that save never seals, the
+// EvSuperstep for N+1 is the safety net.
 type distMonitor struct {
-	forward    obs.Sink
-	cancel     context.CancelFunc
-	evictAfter int // cancel after this many supersteps (0 = never)
+	forward      obs.Sink
+	cancel       context.CancelFunc
+	evictAfter   int    // cancel after this many supersteps (0 = never)
+	warmBoundary int    // absolute superstep of the forced in-window save (0 = reactive)
+	warnAfter    int    // fire onWarn after this many supersteps (0 = never)
+	onWarn       func() // must not block: spawn, don't orchestrate
 
 	mu          sync.Mutex
 	steps       int // supersteps completed this session
 	durable     int // newest sealed checkpoint superstep this session
 	checkpoints int
 	evicted     bool
+	warned      bool
 }
 
 func (m *distMonitor) Emit(e obs.Event) {
@@ -612,11 +782,22 @@ func (m *distMonitor) Emit(e obs.Event) {
 	case obs.EvSuperstep:
 		m.mu.Lock()
 		m.steps++
-		trip := m.evictAfter > 0 && m.steps >= m.evictAfter && !m.evicted
+		limit := m.evictAfter
+		if m.warmBoundary > 0 {
+			limit = m.evictAfter + 1
+		}
+		trip := m.evictAfter > 0 && m.steps >= limit && !m.evicted
 		if trip {
 			m.evicted = true
 		}
+		warn := m.warnAfter > 0 && m.steps >= m.warnAfter && !m.warned
+		if warn {
+			m.warned = true
+		}
 		m.mu.Unlock()
+		if warn && m.onWarn != nil {
+			m.onWarn()
+		}
 		if trip {
 			m.cancel()
 		}
@@ -626,11 +807,25 @@ func (m *distMonitor) Emit(e obs.Event) {
 			m.durable = e.Superstep
 		}
 		m.checkpoints++
+		trip := m.warmBoundary > 0 && e.Superstep >= m.warmBoundary && !m.evicted
+		if trip {
+			m.evicted = true
+		}
 		m.mu.Unlock()
+		if trip {
+			m.cancel()
+		}
 	}
 	if m.forward != nil {
 		m.forward.Emit(e)
 	}
+}
+
+// warnFired reports whether the eviction warning fired this session.
+func (m *distMonitor) warnFired() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.warned
 }
 
 // stepsDone reports the supersteps completed this session.

@@ -128,6 +128,12 @@ type Report struct {
 	Completion units.Seconds
 	// IOTime totals checkpoint save/load plus simnet reload seconds.
 	IOTime units.Seconds
+	// RecoveryTime totals the post-eviction downtime: every reactive
+	// reload deploy's wait + boot + load span. Warm cutovers contribute
+	// zero — their boot and prefetch overlapped the warning window —
+	// so on a fixed trace warm recovery is strictly cheaper than cold
+	// whenever at least one cutover lands.
+	RecoveryTime units.Seconds
 
 	Evictions     int  // injected evictions suffered
 	Reconfigs     int  // deployments (first boot included)
@@ -135,6 +141,9 @@ type Report struct {
 	Decisions     int  // provisioner consultations
 	Restarts      int  // evictions + watchdog trips that forced a reload
 	WatchdogTrips int  // wall-clock watchdog firings
+	Warnings      int  // eviction warnings fired (ExecuteDist with WarningWindow > 0)
+	WarmCutovers  int  // evictions absorbed by a ready warm standby
+	StandbyMisses int  // standbys armed or booted that never cut over
 	LastResort    bool // the last-resort fallback was engaged
 
 	// ShardCounts is the worker count of every deployment in boot

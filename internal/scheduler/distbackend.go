@@ -38,6 +38,15 @@ type DistBackend struct {
 	GraphScale int
 	// GraphSeed seeds the benchmark graph (0 = 7).
 	GraphSeed int64
+	// BarrierTimeout is the coordinator's wall-clock watchdog window
+	// per recurrence session (0 = 30s). Lower it when driving chaos
+	// soaks whose injected failures should resolve fast; raise it for
+	// slow shared CI machines.
+	BarrierTimeout time.Duration
+	// DeltaChain bounds the dist checkpoint delta chain: up to
+	// DeltaChain consecutive delta checkpoints follow each full one
+	// (0 = every checkpoint full).
+	DeltaChain int
 	// KillAtSuperstep, when > 0, kills one shard mid-superstep on the
 	// first session of every recurrence, forcing a checkpoint resume
 	// (chaos soak; the recurrence still completes).
@@ -146,13 +155,18 @@ func (b *DistBackend) Run(ctx context.Context, spec JobSpec, start, deadline uni
 		seed = 7
 	}
 	store := b.blobStore()
+	barrier := b.BarrierTimeout
+	if barrier <= 0 {
+		barrier = 30 * time.Second
+	}
 	cfg := dist.Config{
 		Job:             b.namespace(spec.ID),
 		Program:         pspec,
 		Graph:           dist.GraphSpec{Scale: scale, Seed: seed, Undirected: true},
 		Canonical:       true,
 		CheckpointEvery: 2,
-		BarrierTimeout:  30 * time.Second,
+		DeltaChain:      b.DeltaChain,
+		BarrierTimeout:  barrier,
 		Store:           store,
 		Sink:            b.Sink,
 		Logf:            b.Logf,

@@ -218,27 +218,60 @@ func TestSpotOnRuns(t *testing.T) {
 func TestWarningWindowNeverHurts(t *testing.T) {
 	// §9 extension: an eviction warning that fits the checkpoint upload
 	// preserves in-flight progress, so cost must not increase and
-	// deadlines must still hold.
+	// deadlines must still hold — for the plan-aware strategies (which
+	// fold the window into their failure branches) as much as for
+	// plan-oblivious baselines that only benefit at runtime.
 	env := testEnv(t, perfmodel.JobGC)
-	plain := &Runner{Env: env}
-	warned := &Runner{Env: env, WarningWindow: 120}
-	pb, err := plain.RunBatch(func() core.Provisioner { return core.NewSlackAware(env) }, 0.3, 20, 77)
-	if err != nil {
-		t.Fatal(err)
+	strategies := []struct {
+		name       string
+		factory    func() core.Provisioner
+		guaranteed bool // strategy promises MissedFraction == 0
+	}{
+		{"slack-aware", func() core.Provisioner {
+			p := core.NewSlackAware(env)
+			p.WarningWindow = 120
+			return p
+		}, true},
+		{"relaxed", func() core.Provisioner {
+			p := core.NewRelaxed(env, env.LRC.Exec/2)
+			p.Inner.WarningWindow = 120
+			return p
+		}, false},
+		{"spoton", func() core.Provisioner { return core.NewSpotOn(env) }, false},
 	}
-	wp, err := warned.RunBatch(func() core.Provisioner {
-		p := core.NewSlackAware(env)
-		p.WarningWindow = 120
-		return p
-	}, 0.3, 20, 77)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if wp.MissedFraction != 0 {
-		t.Errorf("warning-aware run missed %.2f", wp.MissedFraction)
-	}
-	if wp.MeanNormCost > pb.MeanNormCost*1.05 {
-		t.Errorf("warning raised cost: %.3f vs %.3f", wp.MeanNormCost, pb.MeanNormCost)
+	for _, s := range strategies {
+		t.Run(s.name, func(t *testing.T) {
+			plain := &Runner{Env: env}
+			warned := &Runner{Env: env, WarningWindow: 120}
+			// The plain batch runs the unmodified strategy: the warning
+			// must be absent from both the plan and the runtime.
+			var plainFactory func() core.Provisioner
+			switch s.name {
+			case "slack-aware":
+				plainFactory = func() core.Provisioner { return core.NewSlackAware(env) }
+			case "relaxed":
+				plainFactory = func() core.Provisioner { return core.NewRelaxed(env, env.LRC.Exec/2) }
+			default:
+				plainFactory = s.factory
+			}
+			pb, err := plain.RunBatch(plainFactory, 0.3, 20, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wp, err := warned.RunBatch(s.factory, 0.3, 20, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.guaranteed && wp.MissedFraction != 0 {
+				t.Errorf("warning-aware run missed %.2f", wp.MissedFraction)
+			}
+			if wp.MissedFraction > pb.MissedFraction {
+				t.Errorf("warning raised misses: %.2f vs %.2f", wp.MissedFraction, pb.MissedFraction)
+			}
+			if wp.MeanNormCost > pb.MeanNormCost*1.05 {
+				t.Errorf("warning raised cost: %.3f vs %.3f", wp.MeanNormCost, pb.MeanNormCost)
+			}
+		})
 	}
 }
 

@@ -3,7 +3,9 @@
 # (internal/engine BenchmarkEngineMessagePlane plus its loopback-TCP
 # twin internal/dist BenchmarkEngineMessagePlaneDist — dist cases are
 # recorded under a "dist/" prefix; the ns/superstep gap between the
-# two is the price of the process split):
+# two is the price of the process split — and the checkpoint plane
+# BenchmarkCheckpointPlaneDist under "ckpt/", recording full- vs
+# delta-checkpoint bytes):
 #
 #   scripts/bench_engine.sh [output.json]   # regenerate BENCH_ENGINE.json
 #   scripts/bench_engine.sh --check [ref]   # regression gate vs committed numbers
@@ -20,8 +22,9 @@
 # --check reruns the benchmark and compares each case against the
 # "current" section of the committed BENCH_ENGINE.json (or [ref]).
 # It fails if any case's ns/superstep regresses by more than 25%, its
-# allocs/op more than doubles, or — for dist/ cases — its
-# wirebytes/superstep grows by more than 25%. Wall-clock numbers on
+# allocs/op more than doubles, for dist/ cases its wirebytes/superstep
+# grows by more than 25%, or for ckpt/ cases its deltabytes/ckpt grows
+# by more than 25%. Wall-clock numbers on
 # shared CI runners are noisy — the job that runs this is advisory —
 # but the alloc and wirebyte gates are deterministic: they keep the
 # observability hooks, engine work and the peer-mesh data plane honest
@@ -34,21 +37,24 @@ benchtime="${BENCHTIME:-2s}"
 run_bench() {
   go test ./internal/engine/ -run NONE -bench BenchmarkEngineMessagePlane \
     -benchmem -benchtime "$benchtime"
-  go test ./internal/dist/ -run NONE -bench BenchmarkEngineMessagePlaneDist \
+  go test ./internal/dist/ -run NONE \
+    -bench 'BenchmarkEngineMessagePlaneDist|BenchmarkCheckpointPlaneDist' \
     -benchmem -benchtime "$benchtime"
 }
 
 # parse_bench <raw>: one
-# "case ns_per_op ns_per_superstep bytes allocs frames wirebytes"
-# row per line (frames/wirebytes are null for in-process cases).
+# "case ns_per_op ns_per_superstep bytes allocs frames wirebytes fullb deltab"
+# row per line (frames/wirebytes are null for in-process cases,
+# fullb/deltab only set for the ckpt/ checkpoint-plane cases).
 parse_bench() {
   awk '
-    /^BenchmarkEngineMessagePlane(Dist)?\// {
+    /^Benchmark(EngineMessagePlane(Dist)?|CheckpointPlaneDist)\// {
       name = $1
+      sub(/^BenchmarkCheckpointPlaneDist\//, "ckpt/", name)
       sub(/^BenchmarkEngineMessagePlaneDist\//, "dist/", name)
       sub(/^BenchmarkEngineMessagePlane\//, "", name)
       sub(/-[0-9]+$/, "", name)
-      ns = bytes = allocs = step = frames = wbytes = "null"
+      ns = bytes = allocs = step = frames = wbytes = fullb = deltab = "null"
       for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")               ns = $(i - 1)
         if ($i == "ns/superstep")        step = $(i - 1)
@@ -56,8 +62,10 @@ parse_bench() {
         if ($i == "allocs/op")           allocs = $(i - 1)
         if ($i == "frames/superstep")    frames = $(i - 1)
         if ($i == "wirebytes/superstep") wbytes = $(i - 1)
+        if ($i == "fullbytes/ckpt")      fullb = $(i - 1)
+        if ($i == "deltabytes/ckpt")     deltab = $(i - 1)
       }
-      print name, ns, step, bytes, allocs, frames, wbytes
+      print name, ns, step, bytes, allocs, frames, wbytes, fullb, deltab
     }
   ' <<<"$1"
 }
@@ -78,14 +86,15 @@ if [[ "${1:-}" == "--check" ]]; then
       line = $0
       gsub(/[",{}:]/, " ", line)
       n = split(line, f, /[ \t]+/)
-      wbytes = "null"
+      wbytes = deltab = "null"
       for (i = 1; i <= n; i++) {
         if (f[i] == "case")                    name = f[i + 1]
         if (f[i] == "ns_per_superstep")        step = f[i + 1]
         if (f[i] == "allocs_per_op")           allocs = f[i + 1]
         if (f[i] == "wirebytes_per_superstep") wbytes = f[i + 1]
+        if (f[i] == "deltabytes_per_ckpt")     deltab = f[i + 1]
       }
-      print name, step, allocs, wbytes
+      print name, step, allocs, wbytes, deltab
     }
   ' "$ref")"
 
@@ -94,13 +103,16 @@ if [[ "${1:-}" == "--check" ]]; then
       n = split(ref, lines, "\n")
       for (i = 1; i <= n; i++) {
         split(lines[i], f, " ")
-        if (f[1] != "") { refstep[f[1]] = f[2]; refallocs[f[1]] = f[3]; refwbytes[f[1]] = f[4] }
+        if (f[1] != "") {
+          refstep[f[1]] = f[2]; refallocs[f[1]] = f[3]
+          refwbytes[f[1]] = f[4]; refdeltab[f[1]] = f[5]
+        }
       }
       printf("%-28s %14s %14s %8s %10s %10s %8s %8s\n",
              "case", "ns/superstep", "ref", "ratio", "allocs/op", "ref", "ratio", "wbytes")
     }
     {
-      name = $1; step = $3; allocs = $5; wbytes = $7
+      name = $1; step = $3; allocs = $5; wbytes = $7; deltab = $9
       if (!(name in refstep)) {
         printf("%-28s (new case, no reference — skipped)\n", name)
         next
@@ -117,6 +129,15 @@ if [[ "${1:-}" == "--check" ]]; then
         w = wbytes / refwbytes[name]
         wr = sprintf("%7.2fx", w)
         if (w > 1.25) { flag = flag " WIREBYTES"; bad = 1 }
+      }
+      # ckpt cases report the delta-checkpoint payload; gate it so an
+      # encoder change cannot silently fatten the chain back towards
+      # full snapshots (the wcc-materiality floor lives in the
+      # benchmark itself).
+      if (deltab != "null" && refdeltab[name] != "null" && refdeltab[name] > 0) {
+        d = deltab / refdeltab[name]
+        wr = sprintf("%7.2fx", d)
+        if (d > 1.25) { flag = flag " DELTABYTES"; bad = 1 }
       }
       printf("%-28s %14d %14d %7.2fx %10d %10d %7.2fx %s%s\n",
              name, step, refstep[name], sr, allocs, refallocs[name], ar, wr, flag)
@@ -193,6 +214,7 @@ DIST_BASELINE
       if (n++) printf(",\n")
       printf("    {\"case\": \"%s\", \"ns_per_op\": %s, \"ns_per_superstep\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", $1, $2, $3, $4, $5)
       if ($6 != "null") printf(", \"frames_per_superstep\": %s, \"wirebytes_per_superstep\": %s", $6, $7)
+      if ($8 != "null") printf(", \"fullbytes_per_ckpt\": %s, \"deltabytes_per_ckpt\": %s", $8, $9)
       printf("}")
     }
     END { printf("\n") }
